@@ -1,0 +1,177 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, per DESIGN.md §3), plus
+// micro-benchmarks of the pipeline stages. The benchmarks run the reduced
+// (Quick) experiment configuration so that `go test -bench=.` finishes in
+// minutes; `cmd/coyote-eval` runs the full configurations recorded in
+// EXPERIMENTS.md.
+package coyote_test
+
+import (
+	"io"
+	"testing"
+
+	coyote "github.com/coyote-te/coyote"
+	"github.com/coyote-te/coyote/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunningExample regenerates the Fig. 1 / Appendix B numbers.
+func BenchmarkRunningExample(b *testing.B) { benchExperiment(b, "running") }
+
+// BenchmarkFig6Geant regenerates Fig. 6 (Geant, gravity).
+func BenchmarkFig6Geant(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Digex regenerates Fig. 7 (Digex, gravity).
+func BenchmarkFig7Digex(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8AS1755 regenerates Fig. 8 (AS1755, bimodal).
+func BenchmarkFig8AS1755(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Abilene regenerates Fig. 9 (local-search heuristic). The
+// quick configuration trims the margin range.
+func BenchmarkFig9Abilene(b *testing.B) {
+	cfg := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Approx regenerates Fig. 10 (virtual next-hop quantization).
+func BenchmarkFig10Approx(b *testing.B) {
+	cfg := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig10(cfg, []int{3, 5, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Stretch regenerates Fig. 11 (path stretch) on a corpus
+// subset.
+func BenchmarkFig11Stretch(b *testing.B) {
+	cfg := exp.Quick()
+	names := []string{"NSF", "Abilene", "Germany"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Fig11(cfg, names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Prototype regenerates the §VII prototype emulation.
+func BenchmarkFig12Prototype(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable1 regenerates Table I rows on a corpus subset (the full
+// 14-topology table is produced by cmd/coyote-eval -run table1).
+func BenchmarkTable1(b *testing.B) {
+	cfg := exp.Quick()
+	names := []string{"NSF", "Abilene"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Table1(cfg, names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDAGAug measures the DAG-augmentation ablation.
+func BenchmarkAblationDAGAug(b *testing.B) {
+	cfg := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.AblationDAG("NSF", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAdversary measures sampled-vs-exact adversary accuracy.
+func BenchmarkAblationAdversary(b *testing.B) { benchExperiment(b, "ablation-adv") }
+
+// BenchmarkNPGadget runs the Theorem 1 reduction demonstration.
+func BenchmarkNPGadget(b *testing.B) { benchExperiment(b, "negative-np") }
+
+// BenchmarkPathLowerBound runs the Theorem 4 demonstration.
+func BenchmarkPathLowerBound(b *testing.B) { benchExperiment(b, "negative-path") }
+
+// BenchmarkComputeEndToEnd measures the public-API pipeline on the
+// running-example network.
+func BenchmarkComputeEndToEnd(b *testing.B) {
+	t := coyote.NewTopology()
+	s1 := t.AddNode("s1")
+	s2 := t.AddNode("s2")
+	v := t.AddNode("v")
+	tt := t.AddNode("t")
+	t.AddLink(s1, s2, 1, 1)
+	t.AddLink(s1, v, 1, 1)
+	t.AddLink(s2, v, 1, 1)
+	t.AddLink(s2, tt, 1, 1)
+	t.AddLink(v, tt, 1, 1)
+	base := coyote.NewDemandMatrix(t)
+	base.Set(s1, tt, 1)
+	base.Set(s2, tt, 1)
+	bounds := coyote.MarginBounds(base, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coyote.New(t, bounds, coyote.Options{
+			OptimizerIters: 200, AdversarialIters: 2, Seed: 1,
+		}).Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFailover measures precomputing per-link failure configurations
+// (§VI-A) on NSF.
+func BenchmarkFailover(b *testing.B) {
+	cfg := exp.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Failover("NSF", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tab.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

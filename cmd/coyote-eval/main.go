@@ -1,0 +1,75 @@
+// Command coyote-eval regenerates the tables and figures of the paper's
+// evaluation (§VI, §VII) plus the negative-result demonstrations and
+// ablations. Experiment IDs follow DESIGN.md §3.
+//
+// Usage:
+//
+//	coyote-eval -list
+//	coyote-eval -run fig6
+//	coyote-eval -run table1 -quick
+//	coyote-eval -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs")
+		run   = flag.String("run", "", "experiment ID to run")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := exp.Default()
+	if *quick {
+		cfg = exp.Quick()
+	}
+	switch {
+	case *all:
+		for _, id := range exp.IDs() {
+			if err := runOne(id, cfg); err != nil {
+				fatal(err)
+			}
+		}
+	case *run != "":
+		if err := runOne(*run, cfg); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "coyote-eval: -run <id>, -all or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, cfg exp.Config) error {
+	start := time.Now()
+	tab, err := exp.Run(id, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	if _, err := tab.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coyote-eval:", err)
+	os.Exit(1)
+}

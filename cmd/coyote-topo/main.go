@@ -1,0 +1,59 @@
+// Command coyote-topo lists and exports the built-in topology corpus (the
+// synthetic Internet-Topology-Zoo stand-ins of the evaluation).
+//
+// Usage:
+//
+//	coyote-topo -list
+//	coyote-topo -name Geant            # text format on stdout
+//	coyote-topo -name Geant -dot       # Graphviz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	coyote "github.com/coyote-te/coyote"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list corpus topology names")
+		name = flag.String("name", "", "topology to export")
+		dot  = flag.Bool("dot", false, "emit Graphviz DOT instead of text format")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range coyote.TopologyNames() {
+			t, err := coyote.LoadTopology(n)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %3d nodes  %3d links\n", n, t.NumNodes(), t.NumLinks()/2)
+		}
+	case *name != "":
+		t, err := coyote.LoadTopology(*name)
+		if err != nil {
+			fatal(err)
+		}
+		if *dot {
+			err = t.WriteDOT(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "coyote-topo: -list or -name required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coyote-topo:", err)
+	os.Exit(1)
+}

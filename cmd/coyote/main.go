@@ -1,0 +1,171 @@
+// Command coyote computes a COYOTE traffic-engineering configuration for a
+// topology: per-destination forwarding DAGs, optimized splitting ratios,
+// the worst-case (oblivious) performance ratio versus traditional ECMP,
+// and optionally the OSPF lie set realizing the configuration.
+//
+// Usage:
+//
+//	coyote -topo Geant -margin 2.0 [-virtual 3] [-local-search] [-json]
+//	coyote -file net.txt -margin 2.5
+//
+// With -file, the topology is read in the text format of cmd/coyote-topo
+// (node/link/edge directives). The base demand matrix is the gravity model
+// (§VI-B of the paper); -margin x bounds every demand within [d/x, d·x],
+// and -margin 0 selects full demand obliviousness.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	coyote "github.com/coyote-te/coyote"
+)
+
+func main() {
+	var (
+		topoName    = flag.String("topo", "", "corpus topology name (see coyote-topo -list)")
+		file        = flag.String("file", "", "topology file in text format (alternative to -topo)")
+		margin      = flag.Float64("margin", 2, "demand uncertainty margin (0 = fully oblivious)")
+		virtual     = flag.Int("virtual", 0, "synthesize lies with this many extra virtual next-hops per interface (0 = skip)")
+		localSearch = flag.Bool("local-search", false, "optimize OSPF weights with local search first")
+		iters       = flag.Int("iters", 500, "optimizer gradient steps")
+		advIters    = flag.Int("adv-iters", 5, "adversarial refinement rounds")
+		seed        = flag.Int64("seed", 1, "random seed")
+		asJSON      = flag.Bool("json", false, "emit machine-readable JSON")
+		fibOut      = flag.String("fib", "", "write the splitting configuration (FIB fractions) as JSON to this file")
+		msgOut      = flag.String("messages", "", "write the fake-node LSAs as JSON to this file (requires -virtual)")
+	)
+	flag.Parse()
+
+	topo, err := loadTopology(*topoName, *file)
+	if err != nil {
+		fatal(err)
+	}
+	base := coyote.GravityDemands(topo, 1)
+	var bounds *coyote.Bounds
+	if *margin <= 0 {
+		bounds = coyote.ObliviousBounds(topo, 1)
+	} else {
+		bounds = coyote.MarginBounds(base, *margin)
+	}
+	cfg, err := coyote.New(topo, bounds, coyote.Options{
+		OptimizerIters:     *iters,
+		AdversarialIters:   *advIters,
+		LocalSearchWeights: *localSearch,
+		Seed:               *seed,
+	}).Compute()
+	if err != nil {
+		fatal(err)
+	}
+
+	type liesOut struct {
+		VirtualNextHops  int `json:"virtual_next_hops"`
+		FakeNodes        int `json:"fake_nodes"`
+		VirtualLinks     int `json:"virtual_links"`
+		LiedDestinations int `json:"lied_destinations"`
+	}
+	out := struct {
+		Topology string   `json:"topology"`
+		Nodes    int      `json:"nodes"`
+		Links    int      `json:"links"`
+		Margin   float64  `json:"margin"`
+		Perf     float64  `json:"coyote_perf"`
+		ECMPPerf float64  `json:"ecmp_perf"`
+		Gain     float64  `json:"gain"`
+		Lies     *liesOut `json:"lies,omitempty"`
+	}{
+		Topology: displayName(*topoName, *file),
+		Nodes:    topo.NumNodes(),
+		Links:    topo.NumLinks() / 2,
+		Margin:   *margin,
+		Perf:     cfg.Perf,
+		ECMPPerf: cfg.ECMPPerf,
+		Gain:     cfg.ECMPPerf / cfg.Perf,
+	}
+	if *fibOut != "" {
+		f, err := os.Create(*fibOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cfg.Routing.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *virtual > 0 {
+		lies, err := cfg.Lies(*virtual)
+		if err != nil {
+			fatal(err)
+		}
+		out.Lies = &liesOut{
+			VirtualNextHops:  *virtual,
+			FakeNodes:        lies.FakeNodes,
+			VirtualLinks:     lies.VirtualLinks,
+			LiedDestinations: lies.LiedDestinations,
+		}
+		if *msgOut != "" {
+			f, err := os.Create(*msgOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := lies.WriteMessages(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("topology        %s (%d nodes, %d links)\n", out.Topology, out.Nodes, out.Links)
+	fmt.Printf("uncertainty     margin %.1f\n", out.Margin)
+	fmt.Printf("COYOTE PERF     %.3f\n", out.Perf)
+	fmt.Printf("ECMP PERF       %.3f\n", out.ECMPPerf)
+	fmt.Printf("improvement     %.0f%%\n", 100*(out.Gain-1))
+	if out.Lies != nil {
+		fmt.Printf("lies            %d fake nodes, %d virtual links, %d destinations (≤%d extra next-hops/interface)\n",
+			out.Lies.FakeNodes, out.Lies.VirtualLinks, out.Lies.LiedDestinations, out.Lies.VirtualNextHops)
+	}
+}
+
+func loadTopology(name, file string) (*coyote.Topology, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("coyote: use either -topo or -file, not both")
+	case name != "":
+		return coyote.LoadTopology(name)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return coyote.ReadTopology(f)
+	default:
+		return nil, fmt.Errorf("coyote: -topo or -file is required (try -topo Geant)")
+	}
+}
+
+func displayName(name, file string) string {
+	if name != "" {
+		return name
+	}
+	return file
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coyote:", err)
+	os.Exit(1)
+}

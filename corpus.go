@@ -1,0 +1,44 @@
+package coyote
+
+import (
+	"io"
+
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+// TopologyNames lists the built-in topology corpus (synthetic stand-ins
+// for the Internet Topology Zoo backbones of the paper's evaluation; see
+// DESIGN.md).
+func TopologyNames() []string { return topo.Names() }
+
+// LoadTopology builds a corpus topology by name.
+func LoadTopology(name string) (*Topology, error) {
+	g, err := topo.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// NewDemandMatrix returns an all-zero demand matrix sized for t.
+func NewDemandMatrix(t *Topology) *DemandMatrix {
+	return demand.NewMatrix(t.g.NumNodes())
+}
+
+// WriteText serializes the topology in the line-oriented text format
+// understood by ReadTopology (node/link/edge directives).
+func (t *Topology) WriteText(w io.Writer) error { return t.g.WriteText(w) }
+
+// WriteDOT emits a Graphviz rendering of the topology.
+func (t *Topology) WriteDOT(w io.Writer) error { return t.g.WriteDOT(w) }
+
+// ReadTopology parses the text format produced by WriteText.
+func ReadTopology(r io.Reader) (*Topology, error) {
+	g, err := graph.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}

@@ -1,0 +1,22 @@
+// Emulation: the prototype experiment of §VII (Fig. 12) — three traffic
+// scenarios over the three-node network, comparing the packet-drop rates
+// of the two ECMP-achievable TE configurations against COYOTE's
+// per-prefix forwarding DAGs.
+package main
+
+import (
+	"log"
+	"os"
+
+	"github.com/coyote-te/coyote/internal/exp"
+)
+
+func main() {
+	tab, err := exp.Fig12(exp.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tab.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

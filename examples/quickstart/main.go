@@ -1,0 +1,47 @@
+// Quickstart: compute a COYOTE configuration for a small network and
+// compare its worst-case performance with traditional ECMP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coyote "github.com/coyote-te/coyote"
+)
+
+func main() {
+	// A 6-router metro ring with two cross links.
+	t := coyote.NewTopology()
+	var ids []coyote.NodeID
+	for _, name := range []string{"ams", "bru", "par", "lyo", "fra", "lux"} {
+		ids = append(ids, t.AddNode(name))
+	}
+	for i := range ids {
+		t.AddLink(ids[i], ids[(i+1)%len(ids)], 10, 1)
+	}
+	t.AddLink(ids[0], ids[3], 2.5, 4) // ams–lyo
+	t.AddLink(ids[1], ids[4], 2.5, 4) // bru–fra
+
+	// The operator estimates demands with the gravity model but only
+	// trusts the estimate within a factor of two.
+	base := coyote.GravityDemands(t, 1)
+	bounds := coyote.MarginBounds(base, 2)
+
+	cfg, err := coyote.New(t, bounds, coyote.Options{Seed: 1}).Compute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst-case normalized utilization (PERF):\n")
+	fmt.Printf("  traditional ECMP : %.3f\n", cfg.ECMPPerf)
+	fmt.Printf("  COYOTE           : %.3f\n", cfg.Perf)
+	fmt.Printf("  improvement      : %.0f%%\n", 100*(cfg.ECMPPerf/cfg.Perf-1))
+
+	// Realize the configuration on legacy OSPF/ECMP routers with at most
+	// three extra virtual next-hops per interface.
+	lies, err := cfg.Lies(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realized with %d fake nodes (%d destinations lied about, %d virtual links)\n",
+		lies.FakeNodes, lies.LiedDestinations, lies.VirtualLinks)
+}

@@ -1,0 +1,24 @@
+// Running example: the four-node network of Fig. 1 of the paper, worked
+// end to end — ECMP's worst case, the hand-tuned Fig. 1c ratios, the
+// golden-ratio optimum of Appendix B, and the configuration COYOTE's
+// optimizer discovers.
+package main
+
+import (
+	"log"
+	"os"
+
+	"github.com/coyote-te/coyote/internal/exp"
+)
+
+func main() {
+	cfg := exp.Default()
+	cfg.OptIters = 800
+	tab, err := exp.RunningExample(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tab.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

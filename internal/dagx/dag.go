@@ -1,0 +1,203 @@
+// Package dagx builds and manipulates the per-destination forwarding DAGs at
+// the heart of COYOTE (§V-B of the paper).
+//
+// Construction has two steps. Step I computes the shortest-path DAG rooted
+// at each destination for a given link-weight assignment (package spf).
+// Step II augments each DAG with every link that does not appear in it,
+// oriented "towards the incident node that is closer to the destination,
+// breaking ties lexicographically". Because positive weights make
+// shortest-path edges strictly decrease the potential (dist_t(u), u) as
+// well, every edge of the augmented DAG strictly decreases that potential,
+// so the result is acyclic by construction.
+package dagx
+
+import (
+	"fmt"
+
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/spf"
+)
+
+// DAG is a per-destination forwarding DAG over a graph's directed edges.
+type DAG struct {
+	Dst    graph.NodeID
+	Member []bool         // Member[e] reports whether directed edge e belongs to the DAG
+	Order  []graph.NodeID // topological order: every DAG edge goes from an earlier to a later node; Dst is last
+	Dist   []float64      // the SPF distance field used to build the DAG (for diagnostics/stretch)
+}
+
+// Edges returns the IDs of the DAG's member edges.
+func (d *DAG) Edges() []graph.EdgeID {
+	var out []graph.EdgeID
+	for id, in := range d.Member {
+		if in {
+			out = append(out, graph.EdgeID(id))
+		}
+	}
+	return out
+}
+
+// OutEdges returns u's DAG out-edges.
+func (d *DAG) OutEdges(g *graph.Graph, u graph.NodeID) []graph.EdgeID {
+	var out []graph.EdgeID
+	for _, id := range g.Out(u) {
+		if d.Member[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// InEdges returns v's DAG in-edges.
+func (d *DAG) InEdges(g *graph.Graph, v graph.NodeID) []graph.EdgeID {
+	var in []graph.EdgeID
+	for _, id := range g.In(v) {
+		if d.Member[id] {
+			in = append(in, id)
+		}
+	}
+	return in
+}
+
+// NumEdges counts member edges.
+func (d *DAG) NumEdges() int {
+	n := 0
+	for _, in := range d.Member {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// potentialLess reports whether node a has strictly smaller potential than
+// node b under the lexicographic order (dist, id) used for augmentation.
+func potentialLess(dist []float64, a, b graph.NodeID) bool {
+	if dist[a] != dist[b] {
+		return dist[a] < dist[b]
+	}
+	return a < b
+}
+
+// ShortestPath builds the plain shortest-path DAG rooted at dst (Step I
+// only): this is the DAG traditional ECMP uses.
+func ShortestPath(g *graph.Graph, dst graph.NodeID) *DAG {
+	tree := spf.ToDestination(g, dst)
+	d := &DAG{Dst: dst, Member: tree.ShortestPathEdges(g), Dist: tree.Dist}
+	d.Order = topoOrder(g, d)
+	return d
+}
+
+// Augmented builds the COYOTE forwarding DAG rooted at dst: the
+// shortest-path DAG plus every remaining link oriented downhill with respect
+// to (dist, id). Edges incident to unreachable nodes are excluded.
+func Augmented(g *graph.Graph, dst graph.NodeID) *DAG {
+	tree := spf.ToDestination(g, dst)
+	member := tree.ShortestPathEdges(g)
+	for _, e := range g.Edges() {
+		if member[e.ID] {
+			continue
+		}
+		if tree.Dist[e.From] == spf.Inf || tree.Dist[e.To] == spf.Inf {
+			continue
+		}
+		// Orient towards the endpoint closer to dst: keep e=(u,v) iff v has
+		// strictly smaller potential than u.
+		if potentialLess(tree.Dist, e.To, e.From) {
+			member[e.ID] = true
+		}
+	}
+	d := &DAG{Dst: dst, Member: member, Dist: tree.Dist}
+	d.Order = topoOrder(g, d)
+	return d
+}
+
+// FromEdges builds a DAG from an explicit membership vector, verifying
+// acyclicity. It allows operators (or tests) to supply arbitrary DAGs, per
+// §V-B: "DAGs rooted in different destinations are not coupled in any way,
+// allowing network operators to specify any set of DAGs."
+func FromEdges(g *graph.Graph, dst graph.NodeID, member []bool) (*DAG, error) {
+	if len(member) != g.NumEdges() {
+		return nil, fmt.Errorf("dagx: membership vector has %d entries, want %d", len(member), g.NumEdges())
+	}
+	d := &DAG{Dst: dst, Member: append([]bool(nil), member...)}
+	order, ok := topoOrderChecked(g, d)
+	if !ok {
+		return nil, fmt.Errorf("dagx: edge set for destination %d contains a cycle", dst)
+	}
+	d.Order = order
+	return d, nil
+}
+
+// topoOrder computes a topological order of the DAG's nodes and panics on a
+// cycle; internal constructors guarantee acyclicity.
+func topoOrder(g *graph.Graph, d *DAG) []graph.NodeID {
+	order, ok := topoOrderChecked(g, d)
+	if !ok {
+		panic("dagx: internal constructor produced a cyclic DAG")
+	}
+	return order
+}
+
+// topoOrderChecked returns a topological order (sources first, destination
+// last among reachable nodes) using Kahn's algorithm restricted to member
+// edges, and reports whether the edge set is acyclic.
+func topoOrderChecked(g *graph.Graph, d *DAG) ([]graph.NodeID, bool) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for _, e := range g.Edges() {
+		if d.Member[e.ID] {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, graph.NodeID(i))
+		}
+	}
+	order := make([]graph.NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, id := range g.Out(u) {
+			if !d.Member[id] {
+				continue
+			}
+			v := g.Edge(id).To
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// ContainsShortestPathDAG reports whether d contains every edge of the
+// shortest-path DAG toward d.Dst under the graph's current weights. COYOTE's
+// guarantee that it is "no worse than standard OSPF/ECMP" rests on this
+// containment (§V-B).
+func (d *DAG) ContainsShortestPathDAG(g *graph.Graph) bool {
+	sp := spf.ToDestination(g, d.Dst).ShortestPathEdges(g)
+	for id, in := range sp {
+		if in && !d.Member[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildAll constructs a DAG per destination using the given constructor
+// (ShortestPath or Augmented).
+func BuildAll(g *graph.Graph, build func(*graph.Graph, graph.NodeID) *DAG) []*DAG {
+	dags := make([]*DAG, g.NumNodes())
+	for t := 0; t < g.NumNodes(); t++ {
+		dags[t] = build(g, graph.NodeID(t))
+	}
+	return dags
+}

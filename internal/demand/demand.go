@@ -1,0 +1,250 @@
+// Package demand models traffic demand matrices and the operator-specified
+// uncertainty sets of §III and §VI of the paper.
+//
+// A demand matrix D assigns a non-negative rate d_st to every ordered node
+// pair. Uncertainty is captured by a Box: per-pair intervals
+// [dmin_st, dmax_st]; the paper's "uncertainty margin" x around a base
+// matrix is Box[d_st/x, x·d_st]. The evaluation also uses the two base
+// traffic models of §VI-B: gravity [22] and bimodal [23].
+package demand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// Matrix is a dense demand matrix over n nodes, stored row-major: entry
+// (s, t) is At(s, t). Diagonal entries are always zero.
+type Matrix struct {
+	N int
+	D []float64
+}
+
+// NewMatrix returns a zero demand matrix for n nodes.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, D: make([]float64, n*n)}
+}
+
+// At returns d_st.
+func (m *Matrix) At(s, t graph.NodeID) float64 { return m.D[int(s)*m.N+int(t)] }
+
+// Set assigns d_st. Setting a diagonal entry or a negative rate panics.
+func (m *Matrix) Set(s, t graph.NodeID, d float64) {
+	if s == t {
+		panic("demand: diagonal demand entry")
+	}
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("demand: negative demand %v", d))
+	}
+	m.D[int(s)*m.N+int(t)] = d
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{N: m.N, D: append([]float64(nil), m.D...)}
+}
+
+// Scale multiplies every entry by k and returns the receiver.
+func (m *Matrix) Scale(k float64) *Matrix {
+	for i := range m.D {
+		m.D[i] *= k
+	}
+	return m
+}
+
+// Total returns the sum of all demands.
+func (m *Matrix) Total() float64 {
+	s := 0.0
+	for _, d := range m.D {
+		s += d
+	}
+	return s
+}
+
+// MaxEntry returns the largest demand.
+func (m *Matrix) MaxEntry() float64 {
+	mx := 0.0
+	for _, d := range m.D {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Pairs invokes fn for every pair with positive demand.
+func (m *Matrix) Pairs(fn func(s, t graph.NodeID, d float64)) {
+	for s := 0; s < m.N; s++ {
+		for t := 0; t < m.N; t++ {
+			if d := m.D[s*m.N+t]; d > 0 {
+				fn(graph.NodeID(s), graph.NodeID(t), d)
+			}
+		}
+	}
+}
+
+// ToDestination returns the per-source demand vector toward destination t
+// (a column of the matrix).
+func (m *Matrix) ToDestination(t graph.NodeID) []float64 {
+	out := make([]float64, m.N)
+	for s := 0; s < m.N; s++ {
+		out[s] = m.D[s*m.N+int(t)]
+	}
+	return out
+}
+
+// Box is a per-pair interval uncertainty set: every matrix D with
+// Min.At(s,t) ≤ d_st ≤ Max.At(s,t) for all pairs belongs to the set.
+type Box struct {
+	Min, Max *Matrix
+}
+
+// NewBox builds a box from explicit bounds. It panics if the bounds cross.
+func NewBox(min, max *Matrix) *Box {
+	if min.N != max.N {
+		panic("demand: box dimension mismatch")
+	}
+	for i := range min.D {
+		if min.D[i] > max.D[i]+1e-15 {
+			panic("demand: box lower bound exceeds upper bound")
+		}
+	}
+	return &Box{Min: min, Max: max}
+}
+
+// MarginBox builds the paper's uncertainty set around a base matrix: each
+// d_st may range in [base/margin, base·margin]. Margin must be ≥ 1.
+func MarginBox(base *Matrix, margin float64) *Box {
+	if margin < 1 {
+		panic(fmt.Sprintf("demand: margin %v < 1", margin))
+	}
+	min := base.Clone().Scale(1 / margin)
+	max := base.Clone().Scale(margin)
+	return &Box{Min: min, Max: max}
+}
+
+// ObliviousBox builds the "no knowledge whatsoever" set used by
+// COYOTE-oblivious: every pair may send anywhere between 0 and cap. A
+// finite cap stands in for the unbounded set; the performance ratio is
+// invariant to demand rescaling (§III), so any positive cap yields the same
+// optimization landscape.
+func ObliviousBox(n int, cap float64) *Box {
+	min := NewMatrix(n)
+	max := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s != t {
+				max.D[s*n+t] = cap
+			}
+		}
+	}
+	return &Box{Min: min, Max: max}
+}
+
+// Contains reports whether D lies inside the box (within tolerance).
+func (b *Box) Contains(d *Matrix) bool {
+	for i := range d.D {
+		if d.D[i] < b.Min.D[i]-1e-9 || d.D[i] > b.Max.D[i]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Corner materializes the box corner selected by pick: entry (s,t) takes
+// Max if pick(s,t) is true, Min otherwise.
+func (b *Box) Corner(pick func(s, t graph.NodeID) bool) *Matrix {
+	n := b.Min.N
+	out := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			if pick(graph.NodeID(s), graph.NodeID(t)) {
+				out.D[s*n+t] = b.Max.D[s*n+t]
+			} else {
+				out.D[s*n+t] = b.Min.D[s*n+t]
+			}
+		}
+	}
+	return out
+}
+
+// RandomCorner samples a uniformly random corner of the box.
+func (b *Box) RandomCorner(rng *rand.Rand) *Matrix {
+	return b.Corner(func(s, t graph.NodeID) bool { return rng.Intn(2) == 1 })
+}
+
+// SinglePair returns the matrix with demand d on pair (s,t) and zero
+// elsewhere; the adversaries of Theorem 4 use these.
+func SinglePair(n int, s, t graph.NodeID, d float64) *Matrix {
+	m := NewMatrix(n)
+	m.Set(s, t, d)
+	return m
+}
+
+// Gravity builds the gravity-model base matrix of §VI-B: the flow from i to
+// j is proportional to the product of i's and j's total outgoing capacity.
+// The matrix is normalized so its largest entry equals peak.
+func Gravity(g *graph.Graph, peak float64) *Matrix {
+	n := g.NumNodes()
+	outCap := make([]float64, n)
+	for _, e := range g.Edges() {
+		outCap[e.From] += e.Capacity
+	}
+	m := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s != t {
+				m.D[s*n+t] = outCap[s] * outCap[t]
+			}
+		}
+	}
+	if mx := m.MaxEntry(); mx > 0 {
+		m.Scale(peak / mx)
+	}
+	return m
+}
+
+// BimodalParams configures the bimodal traffic model of §VI-B: a small
+// fraction of node pairs exchange large flows and the rest exchange small
+// flows.
+type BimodalParams struct {
+	LargeFraction float64 // fraction of pairs drawing from the large mode
+	LargeMean     float64 // mean of the large mode
+	SmallMean     float64 // mean of the small mode
+	Sigma         float64 // relative standard deviation of both modes
+}
+
+// DefaultBimodal mirrors the common parameterization in [23]: 10% elephant
+// pairs, 20:1 elephant-to-mouse ratio.
+func DefaultBimodal() BimodalParams {
+	return BimodalParams{LargeFraction: 0.1, LargeMean: 20, SmallMean: 1, Sigma: 0.2}
+}
+
+// Bimodal samples a bimodal base matrix. Negative draws clamp to zero.
+func Bimodal(g *graph.Graph, p BimodalParams, rng *rand.Rand) *Matrix {
+	n := g.NumNodes()
+	m := NewMatrix(n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			mean := p.SmallMean
+			if rng.Float64() < p.LargeFraction {
+				mean = p.LargeMean
+			}
+			d := mean * (1 + p.Sigma*rng.NormFloat64())
+			if d < 0 {
+				d = 0
+			}
+			m.D[s*n+t] = d
+		}
+	}
+	return m
+}

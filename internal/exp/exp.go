@@ -1,0 +1,120 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI, §VII) plus the negative-result
+// demonstrations (§IV) and the design-choice ablations called out in
+// DESIGN.md. Each experiment is registered by ID and runnable from
+// cmd/coyote-eval or from the benchmark suite.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is the uniform output shape of every experiment: a titled grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// f2 formats a ratio the way the paper's tables do (two decimals).
+func f2(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// f1 formats with one decimal (margins).
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Config scales every experiment between a quick smoke run and the full
+// paper-fidelity sweep.
+type Config struct {
+	Margins   []float64 // uncertainty margins for sweeps
+	Samples   int       // adversary random corners
+	OptIters  int       // inner optimizer gradient steps
+	AdvIters  int       // outer adversarial iterations
+	Eps       float64   // FPTAS accuracy for OPTDAG normalization
+	Seed      int64
+	Oblivious bool // also compute the COYOTE-oblivious column (costlier)
+}
+
+// Default is the configuration used for the recorded results in
+// EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Margins:   []float64{1, 1.5, 2, 2.5, 3},
+		Samples:   6,
+		OptIters:  500,
+		AdvIters:  5,
+		Eps:       0.15,
+		Seed:      1,
+		Oblivious: true,
+	}
+}
+
+// Quick is a reduced configuration for benchmarks and smoke tests.
+func Quick() Config {
+	return Config{
+		Margins:   []float64{1, 2},
+		Samples:   3,
+		OptIters:  120,
+		AdvIters:  2,
+		Eps:       0.2,
+		Seed:      1,
+		Oblivious: false,
+	}
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "a  bb") {
+		t.Fatalf("bad rendering:\n%s", s)
+	}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	want := []string{"ablation-adv", "ablation-dag", "failover", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "negative-np", "negative-path", "running", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRunningExampleAnchors(t *testing.T) {
+	tab, err := RunningExample(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	}
+	// ECMP = 2.00, Fig1c = 1.33, golden = 1.24 (√5−1).
+	if v := cell(t, tab, 0, 1); math.Abs(v-2.0) > 0.02 {
+		t.Errorf("ECMP PERF = %g, want 2.00", v)
+	}
+	if v := cell(t, tab, 1, 1); math.Abs(v-4.0/3) > 0.02 {
+		t.Errorf("Fig1c PERF = %g, want 1.33", v)
+	}
+	if v := cell(t, tab, 2, 1); math.Abs(v-(math.Sqrt(5)-1)) > 0.02 {
+		t.Errorf("golden PERF = %g, want 1.24", v)
+	}
+	// The optimizer should not be (much) worse than the hand-crafted 4/3.
+	if v := cell(t, tab, 3, 1); v > 4.0/3+0.05 {
+		t.Errorf("optimizer PERF = %g, want ≤ ~1.33", v)
+	}
+}
+
+func TestNPGadgetTable(t *testing.T) {
+	tab, err := NPGadget([]float64{3, 5, 8}, map[int]bool{2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced: both extreme DMs at exactly 4/3.
+	if v := cell(t, tab, 0, 1); math.Abs(v-4.0/3) > 0.01 {
+		t.Errorf("balanced MxLU(D1) = %g, want 4/3", v)
+	}
+	if v := cell(t, tab, 0, 2); math.Abs(v-4.0/3) > 0.01 {
+		t.Errorf("balanced MxLU(D2) = %g, want 4/3", v)
+	}
+	// Unbalanced: strictly worse oblivious ratio.
+	balanced := cell(t, tab, 0, 3)
+	unbalanced := cell(t, tab, 1, 3)
+	if unbalanced <= balanced {
+		t.Errorf("unbalanced ratio %g should exceed balanced %g", unbalanced, balanced)
+	}
+	// Min-cut = 2·SUM = 32.
+	if v := cell(t, tab, 0, 4); math.Abs(v-32) > 1e-6 {
+		t.Errorf("min-cut = %g, want 32", v)
+	}
+}
+
+func TestPathLowerBoundTable(t *testing.T) {
+	n := 5
+	tab, err := PathLowerBound(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := cell(t, tab, len(tab.Rows)-1, 3)
+	if worst < float64(n) {
+		t.Errorf("worst ratio %g below the Theorem 4 bound %d", worst, n)
+	}
+}
+
+func TestFig12Table(t *testing.T) {
+	tab, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("3 schemes expected, got %d", len(tab.Rows))
+	}
+	// COYOTE row: all-zero drops, 2 fake nodes.
+	coyote := tab.Rows[2]
+	for _, c := range coyote[1:5] {
+		if c != "0%" {
+			t.Errorf("COYOTE cell %q, want 0%%", c)
+		}
+	}
+	if coyote[5] != "2" {
+		t.Errorf("COYOTE fake nodes = %s, want 2", coyote[5])
+	}
+	// TE1 drops 50% in phases 1 and 3.
+	if tab.Rows[0][1] != "50%" || tab.Rows[0][3] != "50%" {
+		t.Errorf("TE1 phases = %v, want 50%% / 0%% / 50%%", tab.Rows[0][1:4])
+	}
+	if tab.Rows[1][2] != "25%" {
+		t.Errorf("TE2 phase 2 = %s, want 25%%", tab.Rows[1][2])
+	}
+}
+
+func TestMarginSweepSmallTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	cfg := Quick()
+	cfg.Oblivious = true
+	rows, err := MarginSweep("NSF", "gravity", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Margins) {
+		t.Fatalf("%d rows, want %d", len(rows), len(cfg.Margins))
+	}
+	for _, r := range rows {
+		// The partial-knowledge COYOTE is never worse than ECMP (both
+		// evaluated with the same adversary).
+		if r.CoyotePartial > r.ECMP+1e-6 {
+			t.Errorf("margin %g: COYOTE-pk %g worse than ECMP %g", r.Margin, r.CoyotePartial, r.ECMP)
+		}
+		if r.ECMP < 1-0.05 || r.CoyotePartial < 1-0.05 {
+			t.Errorf("margin %g: PERF below 1: ECMP %g, pk %g", r.Margin, r.ECMP, r.CoyotePartial)
+		}
+	}
+	// At margin 1 the Base routing is optimal.
+	if math.Abs(rows[0].Base-1) > 0.05 {
+		t.Errorf("Base at margin 1 = %g, want 1", rows[0].Base)
+	}
+}
+
+func TestFig12ViaRegistry(t *testing.T) {
+	tab, err := Run("fig12", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Title == "" || len(tab.Rows) == 0 {
+		t.Fatal("empty table from registry")
+	}
+}

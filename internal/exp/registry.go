@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment's table under a configuration.
+type Runner func(cfg Config) (*Table, error)
+
+// registry maps experiment IDs (DESIGN.md §3) to runners.
+var registry = map[string]Runner{
+	"running": RunningExample,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9": func(cfg Config) (*Table, error) {
+		// Fig. 9 spans margins 1–5.
+		cfg.Margins = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+		return Fig9(cfg)
+	},
+	"fig10": func(cfg Config) (*Table, error) { return Fig10(cfg, nil) },
+	"fig11": func(cfg Config) (*Table, error) { return Fig11(cfg, nil) },
+	"fig12": Fig12,
+	"table1": func(cfg Config) (*Table, error) {
+		// Table I spans margins 1–5 in 0.5 increments.
+		cfg.Margins = []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+		return Table1(cfg, nil)
+	},
+	"ablation-dag": func(cfg Config) (*Table, error) {
+		return AblationDAG("Geant", cfg)
+	},
+	"ablation-adv": AblationAdversary,
+	"failover": func(cfg Config) (*Table, error) {
+		return Failover("NSF", cfg)
+	},
+	"negative-np": func(cfg Config) (*Table, error) {
+		// W = {3,5,8}: positive BIPARTITION instance (8 = 3+5).
+		return NPGadget([]float64{3, 5, 8}, map[int]bool{2: true})
+	},
+	"negative-path": func(cfg Config) (*Table, error) {
+		return PathLowerBound(6)
+	},
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,113 @@
+package failover
+
+import (
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// ringWithSpur: a 4-ring (survives any single failure) plus a spur node
+// hanging off one bridge link (whose failure disconnects it).
+func ringWithSpur() *graph.Graph {
+	g := graph.New()
+	g.AddNodes(4)
+	for i := 0; i < 4; i++ {
+		g.AddLink(graph.NodeID(i), graph.NodeID((i+1)%4), 1, 1)
+	}
+	spur := g.AddNode("spur")
+	g.AddLink(graph.NodeID(0), spur, 1, 1)
+	return g
+}
+
+func smallBox(g *graph.Graph) *demand.Box {
+	base := demand.NewMatrix(g.NumNodes())
+	for s := 0; s < g.NumNodes(); s++ {
+		for t := 0; t < g.NumNodes(); t++ {
+			if s != t {
+				base.Set(graph.NodeID(s), graph.NodeID(t), 0.2)
+			}
+		}
+	}
+	return demand.MarginBox(base, 2)
+}
+
+func TestPrecomputePlan(t *testing.T) {
+	g := ringWithSpur()
+	plan, err := Precompute(g, smallBox(g), Config{OptIters: 80, AdvIters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Normal == nil || plan.NormalPerf <= 0 {
+		t.Fatal("missing normal-case routing")
+	}
+	if len(plan.Scenarios) != len(g.Links()) {
+		t.Fatalf("%d scenarios, want %d", len(plan.Scenarios), len(g.Links()))
+	}
+	// Exactly one bridge: the spur link.
+	if nd := plan.NumDisconnecting(); nd != 1 {
+		t.Fatalf("%d disconnecting failures, want 1", nd)
+	}
+	for _, sc := range plan.Scenarios {
+		if sc.Disconnected {
+			if sc.Routing != nil {
+				t.Fatal("disconnected scenario must not carry a routing")
+			}
+			continue
+		}
+		if sc.Routing == nil {
+			t.Fatalf("scenario %d missing routing", sc.Failed)
+		}
+		if err := sc.Routing.Validate(); err != nil {
+			t.Fatalf("scenario %d routing invalid: %v", sc.Failed, err)
+		}
+		if sc.Perf > sc.ECMPPerf+1e-9 {
+			t.Fatalf("scenario %d: COYOTE %g worse than ECMP %g", sc.Failed, sc.Perf, sc.ECMPPerf)
+		}
+		if sc.Survivor.NumEdges() != g.NumEdges()-2 {
+			t.Fatalf("scenario %d survivor has %d edges", sc.Failed, sc.Survivor.NumEdges())
+		}
+	}
+	if plan.WorstScenario() == nil {
+		t.Fatal("expected a worst scenario")
+	}
+}
+
+func TestWorstScenarioSkipsDisconnected(t *testing.T) {
+	g := ringWithSpur()
+	plan, err := Precompute(g, smallBox(g), Config{OptIters: 60, AdvIters: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := plan.WorstScenario()
+	if w == nil || w.Disconnected {
+		t.Fatal("worst scenario must be a connected one")
+	}
+}
+
+func TestPrecomputeNodes(t *testing.T) {
+	g := ringWithSpur()
+	scenarios, err := PrecomputeNodes(g, smallBox(g), Config{OptIters: 60, AdvIters: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != g.NumNodes() {
+		t.Fatalf("%d node scenarios, want %d", len(scenarios), g.NumNodes())
+	}
+	// Failing node 0 disconnects the spur (it hangs off node 0); failing
+	// the spur keeps the ring intact.
+	if !scenarios[0].Disconnected {
+		t.Fatal("failing node 0 must disconnect the spur")
+	}
+	spur, _ := g.NodeByName("spur")
+	sc := scenarios[spur]
+	if sc.Disconnected {
+		t.Fatal("failing the spur leaves the ring connected")
+	}
+	if sc.Routing == nil || sc.Perf <= 0 {
+		t.Fatal("spur-failure scenario missing routing")
+	}
+	if err := sc.Routing.Validate(); err != nil {
+		t.Fatalf("node scenario routing invalid: %v", err)
+	}
+}

@@ -1,0 +1,258 @@
+package fibbing
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/topo"
+	"github.com/coyote-te/coyote/internal/wcmp"
+)
+
+func fig1(t *testing.T) (*graph.Graph, map[string]graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	ids := map[string]graph.NodeID{
+		"s1": g.AddNode("s1"),
+		"s2": g.AddNode("s2"),
+		"v":  g.AddNode("v"),
+		"t":  g.AddNode("t"),
+	}
+	g.AddLink(ids["s1"], ids["s2"], 1, 1)
+	g.AddLink(ids["s1"], ids["v"], 1, 1)
+	g.AddLink(ids["s2"], ids["v"], 1, 1)
+	g.AddLink(ids["s2"], ids["t"], 1, 1)
+	g.AddLink(ids["v"], ids["t"], 1, 1)
+	return g, ids
+}
+
+// skewedRouting builds a COYOTE-like routing with uneven ratios at s1.
+func skewedRouting(t *testing.T, g *graph.Graph, ids map[string]graph.NodeID) *pdrouting.Routing {
+	t.Helper()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	r := pdrouting.Uniform(g, dags)
+	es1s2, _ := g.FindEdge(ids["s1"], ids["s2"])
+	es1v, _ := g.FindEdge(ids["s1"], ids["v"])
+	if err := r.SetRatios(ids["t"], ids["s1"], map[graph.EdgeID]float64{es1s2: 2.0 / 3, es1v: 1.0 / 3}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSynthesizeAndVerifyFig1(t *testing.T) {
+	g, ids := fig1(t)
+	r := skewedRouting(t, g, ids)
+	q, err := wcmp.Apply(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, q, syn); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	if syn.FakeNodes == 0 {
+		t.Fatal("skewed ratios must require lies")
+	}
+	// Realized ratios at s1 toward t must be 2/3, 1/3.
+	fibs := syn.LSDB.SPF(ids["t"])
+	ratios := fibs[ids["s1"]].Ratios()
+	if math.Abs(ratios[ids["s2"]]-2.0/3) > 1e-9 {
+		t.Fatalf("realized ratio toward s2 = %g, want 2/3", ratios[ids["s2"]])
+	}
+}
+
+func TestNoLiesForPlainECMP(t *testing.T) {
+	g, ids := fig1(t)
+	_ = ids
+	// ECMP on shortest-path DAGs: quantization is all-1 multiplicities on
+	// SP next-hops, so no destination needs lies.
+	dags := dagx.BuildAll(g, dagx.ShortestPath)
+	r := pdrouting.Uniform(g, dags)
+	q, err := wcmp.Apply(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.FakeNodes != 0 {
+		t.Fatalf("plain ECMP needed %d fake nodes, want 0", syn.FakeNodes)
+	}
+	if err := Verify(g, q, syn); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+}
+
+func TestForwardingIsLoopFree(t *testing.T) {
+	g, ids := fig1(t)
+	r := skewedRouting(t, g, ids)
+	q, err := wcmp.Apply(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the realized FIBs from every source greedily through every
+	// possible next-hop; must reach t within n hops.
+	for t2 := 0; t2 < g.NumNodes(); t2++ {
+		dest := graph.NodeID(t2)
+		fibs := syn.LSDB.SPF(dest)
+		for s := 0; s < g.NumNodes(); s++ {
+			if s == t2 {
+				continue
+			}
+			// BFS through FIB next-hops.
+			seen := map[graph.NodeID]bool{graph.NodeID(s): true}
+			frontier := []graph.NodeID{graph.NodeID(s)}
+			for hop := 0; hop < g.NumNodes()+1 && len(frontier) > 0; hop++ {
+				var next []graph.NodeID
+				for _, u := range frontier {
+					if u == dest {
+						continue
+					}
+					if fibs[u] == nil {
+						t.Fatalf("router %d has no FIB toward %d", u, dest)
+					}
+					for nh := range fibs[u] {
+						if seen[nh] {
+							continue
+						}
+						seen[nh] = true
+						next = append(next, nh)
+					}
+				}
+				frontier = next
+			}
+			if !seen[dest] {
+				t.Fatalf("traffic from %d never reaches %d", s, t2)
+			}
+		}
+	}
+}
+
+func TestSynthesizeOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus synthesis in -short mode")
+	}
+	g := topo.MustLoad("Abilene")
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	r := pdrouting.Uniform(g, dags)
+	q, err := wcmp.Apply(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, q, syn); err != nil {
+		t.Fatalf("Abilene verification failed: %v", err)
+	}
+	rr, err := RealizedRouting(g, dags, syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr) != g.NumNodes() {
+		t.Fatalf("RealizedRouting returned %d destinations", len(rr))
+	}
+}
+
+// Property: synthesis + verification succeeds for random skewed routings on
+// random graphs, and realized ratios match the quantized targets.
+func TestPropertySynthesisRealizesQuantizedRatios(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := graph.New()
+		g.AddNodes(n)
+		for i := 0; i < n; i++ {
+			g.AddLink(graph.NodeID(i), graph.NodeID((i+1)%n), 1+rng.Float64()*4, 1+float64(rng.Intn(3)))
+		}
+		g.AddLink(0, graph.NodeID(n/2), 1+rng.Float64()*4, 1+float64(rng.Intn(3)))
+		dags := dagx.BuildAll(g, dagx.Augmented)
+		r := pdrouting.Uniform(g, dags)
+		// Randomly skew a few nodes.
+		for trial := 0; trial < 3; trial++ {
+			tdst := graph.NodeID(rng.Intn(n))
+			u := graph.NodeID(rng.Intn(n))
+			if u == tdst {
+				continue
+			}
+			out := dags[tdst].OutEdges(g, u)
+			if len(out) < 2 {
+				continue
+			}
+			ratios := make(map[graph.EdgeID]float64, len(out))
+			sum := 0.0
+			vals := make([]float64, len(out))
+			for i := range out {
+				vals[i] = 0.1 + rng.Float64()
+				sum += vals[i]
+			}
+			for i, id := range out {
+				ratios[id] = vals[i] / sum
+			}
+			if err := r.SetRatios(tdst, u, ratios); err != nil {
+				return false
+			}
+		}
+		q, err := wcmp.Apply(r, 4)
+		if err != nil {
+			return false
+		}
+		syn, err := Synthesize(g, q)
+		if err != nil {
+			return false
+		}
+		return Verify(g, q, syn) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessagesDeterministicAndComplete(t *testing.T) {
+	g, ids := fig1(t)
+	r := skewedRouting(t, g, ids)
+	q, err := wcmp.Apply(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := syn.Messages(g)
+	m2 := syn.Messages(g)
+	if len(m1) != syn.FakeNodes {
+		t.Fatalf("%d messages, want %d", len(m1), syn.FakeNodes)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("Messages not deterministic")
+		}
+	}
+	var buf bytes.Buffer
+	if err := syn.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Message
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != len(m1) {
+		t.Fatalf("round-trip lost messages: %d vs %d", len(decoded), len(m1))
+	}
+}

@@ -1,0 +1,379 @@
+// Package gpopt optimizes in-DAG traffic splitting ratios, implementing the
+// geometric-programming approach of §V-C and Appendix C of the paper.
+//
+// Following the paper, the optimizer works with log-ratio variables
+// (φ̃ = log φ). The per-destination simplex constraints Σφ = 1 are enforced
+// exactly by a softmax reparameterization — precisely the normalized
+// monomial family that each condensation step of the paper's iterative
+// MLGP produces. For a fixed demand matrix the per-link utilization is a
+// posynomial in φ, hence log-convex in φ̃; the worst-case objective over a
+// finite scenario set is smoothed with a temperature-annealed log-sum-exp
+// ("SmoothMax") and minimized with Adam. The paper's outer machinery —
+// growing the finite scenario set with worst-case demand matrices — lives
+// in package oblivious.
+package gpopt
+
+import (
+	"math"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/geom"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+)
+
+// Scenario is one demand matrix of the finite optimization set, together
+// with its normalization constant (the demands-aware optimum within the
+// DAGs, OPTDAG(D)); the optimizer minimizes max over scenarios and links of
+// load/(capacity·Norm).
+type Scenario struct {
+	Cols [][]float64 // Cols[t][v] = demand from v toward destination t (nil column: no demand)
+	Norm float64     // positive normalization constant (OPTDAG of the matrix)
+}
+
+// NewScenario precomputes per-destination demand columns for D.
+func NewScenario(g *graph.Graph, D *demand.Matrix, norm float64) Scenario {
+	n := g.NumNodes()
+	s := Scenario{Cols: make([][]float64, n), Norm: norm}
+	for t := 0; t < n; t++ {
+		col := D.ToDestination(graph.NodeID(t))
+		for _, d := range col {
+			if d > 0 {
+				s.Cols[t] = col
+				break
+			}
+		}
+	}
+	return s
+}
+
+// Config tunes the optimizer.
+type Config struct {
+	Iters     int     // gradient steps per Run (default 400)
+	LR        float64 // Adam learning rate (default 0.05)
+	TauStart  float64 // initial smooth-max temperature (default 0.25)
+	TauEnd    float64 // final temperature (default 0.02)
+	InitSPLog float64 // log-ratio head start of shortest-path edges over augmented ones (default 2)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iters <= 0 {
+		c.Iters = 400
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.TauStart <= 0 {
+		c.TauStart = 0.25
+	}
+	if c.TauEnd <= 0 {
+		c.TauEnd = 0.02
+	}
+	if c.InitSPLog == 0 {
+		c.InitSPLog = 2
+	}
+	return c
+}
+
+// Optimizer carries the log-space parameters θ (one per destination and DAG
+// edge) and Adam state, allowing warm-started re-optimization as the
+// adversarial scenario set grows.
+type Optimizer struct {
+	g    *graph.Graph
+	dags []*dagx.DAG
+	cfg  Config
+
+	theta [][]float64 // theta[t][e]; only DAG member edges are meaningful
+	m, v  [][]float64 // Adam moments
+	step  int
+
+	// outsOf[t][u] caches DAG out-edge lists.
+	outsOf [][][]graph.EdgeID
+}
+
+// New creates an optimizer over the given DAGs. Initial ratios approximate
+// ECMP: shortest-path edges get a log-ratio head start of cfg.InitSPLog
+// over augmentation-only edges, so optimization starts near the traditional
+// configuration (the solution-space point the paper guarantees COYOTE never
+// falls below).
+func New(g *graph.Graph, dags []*dagx.DAG, cfg Config) *Optimizer {
+	cfg = cfg.withDefaults()
+	o := &Optimizer{g: g, dags: dags, cfg: cfg}
+	n := g.NumNodes()
+	o.theta = make([][]float64, n)
+	o.m = make([][]float64, n)
+	o.v = make([][]float64, n)
+	o.outsOf = make([][][]graph.EdgeID, n)
+	for t := 0; t < n; t++ {
+		o.theta[t] = make([]float64, g.NumEdges())
+		o.m[t] = make([]float64, g.NumEdges())
+		o.v[t] = make([]float64, g.NumEdges())
+		o.outsOf[t] = make([][]graph.EdgeID, n)
+		sp := dagx.ShortestPath(g, graph.NodeID(t))
+		for u := 0; u < n; u++ {
+			o.outsOf[t][u] = dags[t].OutEdges(g, graph.NodeID(u))
+			for _, id := range o.outsOf[t][u] {
+				if sp.Member[id] {
+					o.theta[t][id] = cfg.InitSPLog
+				}
+			}
+		}
+	}
+	return o
+}
+
+// Routing materializes the current parameters as a PD routing
+// (φ = softmax(θ) over each node's DAG out-edges).
+func (o *Optimizer) Routing() *pdrouting.Routing {
+	r := pdrouting.NewZero(o.g, o.dags)
+	n := o.g.NumNodes()
+	for t := 0; t < n; t++ {
+		for u := 0; u < n; u++ {
+			out := o.outsOf[t][u]
+			if len(out) == 0 || graph.NodeID(u) == graph.NodeID(t) {
+				continue
+			}
+			logits := make([]float64, len(out))
+			for i, id := range out {
+				logits[i] = o.theta[t][id]
+			}
+			probs := geom.Softmax(logits, nil)
+			for i, id := range out {
+				r.Phi[t][id] = probs[i]
+			}
+		}
+	}
+	return r
+}
+
+// Objective evaluates the true (unsmoothed) worst normalized utilization of
+// routing r over the scenarios.
+func Objective(r *pdrouting.Routing, scenarios []Scenario) float64 {
+	worst := 0.0
+	for _, sc := range scenarios {
+		loads := make([]float64, r.G.NumEdges())
+		for t, col := range sc.Cols {
+			if col == nil {
+				continue
+			}
+			lt := r.DestLoads(graph.NodeID(t), col)
+			for e := range loads {
+				loads[e] += lt[e]
+			}
+		}
+		for e := range loads {
+			u := loads[e] / (r.G.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
+			if u > worst {
+				worst = u
+			}
+		}
+	}
+	return worst
+}
+
+// Run performs cfg.Iters Adam steps against the given scenario set and
+// returns the final true objective (worst normalized utilization). It may
+// be called repeatedly; parameters and Adam state persist across calls.
+func (o *Optimizer) Run(scenarios []Scenario) float64 {
+	cfg := o.cfg
+	nE := o.g.NumEdges()
+	n := o.g.NumNodes()
+
+	phi := make([][]float64, n)   // per destination ratios
+	grad := make([][]float64, n)  // dLoss/dφ
+	gradT := make([][]float64, n) // dLoss/dθ
+	for t := 0; t < n; t++ {
+		phi[t] = make([]float64, nE)
+		grad[t] = make([]float64, nE)
+		gradT[t] = make([]float64, nE)
+	}
+	inflow := make([]float64, n)
+	gIn := make([]float64, n)
+
+	type destLoad struct {
+		si, t int
+		loads []float64
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		frac := float64(it) / float64(max(cfg.Iters-1, 1))
+		tau := cfg.TauStart * math.Pow(cfg.TauEnd/cfg.TauStart, frac)
+
+		// Materialize φ = softmax(θ).
+		for t := 0; t < n; t++ {
+			for u := 0; u < n; u++ {
+				out := o.outsOf[t][u]
+				if len(out) == 0 {
+					continue
+				}
+				logits := make([]float64, len(out))
+				for i, id := range out {
+					logits[i] = o.theta[t][id]
+				}
+				probs := geom.Softmax(logits, nil)
+				for i, id := range out {
+					phi[t][id] = probs[i]
+				}
+			}
+			for e := range grad[t] {
+				grad[t][e] = 0
+				gradT[t][e] = 0
+			}
+		}
+
+		// Forward: per (scenario, destination) loads; total per-scenario
+		// utilizations.
+		var perDest []destLoad
+		utils := make([]float64, 0, len(scenarios)*nE)
+		utilIdx := make([][]int, len(scenarios)) // scenario → index of edge e in utils
+		scLoads := make([][]float64, len(scenarios))
+		for si, sc := range scenarios {
+			total := make([]float64, nE)
+			for t := 0; t < n; t++ {
+				col := sc.Cols[t]
+				if col == nil {
+					continue
+				}
+				loads := o.forward(t, col, phi[t], inflow)
+				perDest = append(perDest, destLoad{si: si, t: t, loads: loads})
+				for e := 0; e < nE; e++ {
+					total[e] += loads[e]
+				}
+			}
+			scLoads[si] = total
+			utilIdx[si] = make([]int, nE)
+			for e := 0; e < nE; e++ {
+				utilIdx[si][e] = len(utils)
+				utils = append(utils, total[e]/(o.g.Edge(graph.EdgeID(e)).Capacity*sc.Norm))
+			}
+		}
+		if len(utils) == 0 {
+			return 0
+		}
+
+		// Smooth-max gradient: w_i = exp(u_i/τ)/Σ.
+		w := softmaxScaled(utils, tau)
+
+		// Backward per (scenario, destination).
+		for _, dl := range perDest {
+			sc := scenarios[dl.si]
+			col := sc.Cols[dl.t]
+			o.backward(dl.t, col, phi[dl.t], dl.loads, inflow, gIn, func(e int) float64 {
+				return w[utilIdx[dl.si][e]] / (o.g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
+			}, grad[dl.t])
+		}
+
+		// φ-gradient → θ-gradient through the softmax Jacobian, then Adam.
+		o.step++
+		beta1, beta2 := 0.9, 0.999
+		bc1 := 1 - math.Pow(beta1, float64(o.step))
+		bc2 := 1 - math.Pow(beta2, float64(o.step))
+		for t := 0; t < n; t++ {
+			for u := 0; u < n; u++ {
+				out := o.outsOf[t][u]
+				if len(out) < 2 {
+					continue // single-edge nodes have fixed φ = 1
+				}
+				dot := 0.0
+				for _, id := range out {
+					dot += grad[t][id] * phi[t][id]
+				}
+				for _, id := range out {
+					gradT[t][id] = phi[t][id] * (grad[t][id] - dot)
+				}
+				for _, id := range out {
+					gth := gradT[t][id]
+					o.m[t][id] = beta1*o.m[t][id] + (1-beta1)*gth
+					o.v[t][id] = beta2*o.v[t][id] + (1-beta2)*gth*gth
+					mhat := o.m[t][id] / bc1
+					vhat := o.v[t][id] / bc2
+					o.theta[t][id] -= cfg.LR * mhat / (math.Sqrt(vhat) + 1e-12)
+				}
+			}
+		}
+	}
+	return Objective(o.Routing(), scenarios)
+}
+
+// forward propagates col toward destination t with ratios phiT, returning
+// the per-edge loads. The caller-provided inflow buffer is reused.
+func (o *Optimizer) forward(t int, col []float64, phiT []float64, inflow []float64) []float64 {
+	g := o.g
+	d := o.dags[t]
+	for i := range inflow {
+		inflow[i] = 0
+	}
+	for v, dem := range col {
+		if v != t {
+			inflow[v] = dem
+		}
+	}
+	loads := make([]float64, g.NumEdges())
+	for _, u := range d.Order {
+		if int(u) == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range o.outsOf[t][u] {
+			f := inflow[u] * phiT[id]
+			loads[id] = f
+			inflow[g.Edge(id).To] += f
+		}
+	}
+	return loads
+}
+
+// backward accumulates dLoss/dφ into gPhi given upstream per-edge load
+// gradients gLoad(e). It re-runs the forward recurrence to recover inflows,
+// then walks the DAG in reverse topological order.
+func (o *Optimizer) backward(t int, col []float64, phiT, loads, inflow, gIn []float64, gLoad func(e int) float64, gPhi []float64) {
+	g := o.g
+	d := o.dags[t]
+	for i := range inflow {
+		inflow[i] = 0
+		gIn[i] = 0
+	}
+	for v, dem := range col {
+		if v != t {
+			inflow[v] = dem
+		}
+	}
+	for _, u := range d.Order {
+		if int(u) == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range o.outsOf[t][u] {
+			inflow[g.Edge(id).To] += inflow[u] * phiT[id]
+		}
+	}
+	order := d.Order
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		if int(u) == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range o.outsOf[t][u] {
+			to := g.Edge(id).To
+			up := gLoad(int(id)) + gIn[to]
+			gIn[u] += up * phiT[id]
+			gPhi[id] += up * inflow[u]
+		}
+	}
+}
+
+// softmaxScaled returns the weights of SmoothMax's gradient:
+// exp(u_i/τ)/Σ exp(u_j/τ).
+func softmaxScaled(u []float64, tau float64) []float64 {
+	scaled := make([]float64, len(u))
+	for i, x := range u {
+		scaled[i] = x / tau
+	}
+	return geom.Softmax(scaled, nil)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

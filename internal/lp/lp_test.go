@@ -1,0 +1,340 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrFail(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestTextbookMaximize(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → x=2, y=6, obj=36.
+	p := NewProblem(Maximize)
+	x := p.AddVariable()
+	y := p.AddVariable()
+	p.SetObjective(x, 3)
+	p.SetObjective(y, 5)
+	p.AddConstraint([]Term{{x, 1}}, LE, 4)
+	p.AddConstraint([]Term{{y, 2}}, LE, 12)
+	p.AddConstraint([]Term{{x, 3}, {y, 2}}, LE, 18)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-36) > 1e-6 {
+		t.Fatalf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[x]-2) > 1e-6 || math.Abs(sol.X[y]-6) > 1e-6 {
+		t.Fatalf("x=%g y=%g, want 2, 6", sol.X[x], sol.X[y])
+	}
+}
+
+func TestMinimizeWithGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x - y = 2 → x=6, y=4, obj=24.
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	y := p.AddVariable()
+	p.SetObjective(x, 2)
+	p.SetObjective(y, 3)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 2)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-24) > 1e-6 {
+		t.Fatalf("objective = %g, want 24", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 2)
+	sol := solveOrFail(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, -1}}, LE, 0) // -x <= 0, i.e. x >= 0: no upper bound
+	sol := solveOrFail(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x <= -5 (i.e. x >= 5).
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, -1}}, LE, -5)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal || math.Abs(sol.X[x]-5) > 1e-6 {
+		t.Fatalf("got %v x=%v, want optimal x=5", sol.Status, sol.X)
+	}
+}
+
+func TestEqualityNegativeRHS(t *testing.T) {
+	// min x+y s.t. -x - y = -7.
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	y := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 1)
+	p.AddConstraint([]Term{{x, -1}, {y, -1}}, EQ, -7)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-7) > 1e-6 {
+		t.Fatalf("got %v obj=%g, want optimal 7", sol.Status, sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classically degenerate instance (Beale-like); must not cycle.
+	p := NewProblem(Minimize)
+	v := make([]int, 4)
+	for i := range v {
+		v[i] = p.AddVariable()
+	}
+	obj := []float64{-0.75, 150, -0.02, 6}
+	for i, c := range obj {
+		p.SetObjective(v[i], c)
+	}
+	p.AddConstraint([]Term{{v[0], 0.25}, {v[1], -60}, {v[2], -0.04}, {v[3], 9}}, LE, 0)
+	p.AddConstraint([]Term{{v[0], 0.5}, {v[1], -90}, {v[2], -0.02}, {v[3], 3}}, LE, 0)
+	p.AddConstraint([]Term{{v[2], 1}}, LE, 1)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate equality rows force a residual artificial on a redundant row.
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	y := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.SetObjective(y, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 8)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-4) > 1e-6 {
+		t.Fatalf("got %v obj=%g, want optimal 4 (x=4,y=0)", sol.Status, sol.Objective)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem(Minimize)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty problem should be trivially optimal, got %v", sol)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility problem.
+	p := NewProblem(Minimize)
+	x := p.AddVariable()
+	y := p.AddVariable()
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 1)
+	sol := solveOrFail(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[x]-2) > 1e-6 || math.Abs(sol.X[y]-1) > 1e-6 {
+		t.Fatalf("x=%g y=%g, want 2, 1", sol.X[x], sol.X[y])
+	}
+}
+
+func TestRepeatedTermsAccumulate(t *testing.T) {
+	// x + x <= 4  ⟹  x <= 2.
+	p := NewProblem(Maximize)
+	x := p.AddVariable()
+	p.SetObjective(x, 1)
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 4)
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.X[x]-2) > 1e-6 {
+		t.Fatalf("x = %g, want 2", sol.X[x])
+	}
+}
+
+// randomLP generates a bounded, feasible random LP:
+// max cᵀx  s.t.  Ax ≤ b with A ≥ 0 (row sums positive), b > 0, c ≥ 0.
+// Feasible at x = 0 and bounded because every variable appears in some row
+// with positive coefficient.
+func randomLP(rng *rand.Rand, n, m int) (*Problem, [][]float64, []float64, []float64) {
+	p := NewProblem(Maximize)
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddVariable()
+		c[j] = rng.Float64() * 5
+		p.SetObjective(j, c[j])
+	}
+	A := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		A[i] = make([]float64, n)
+		terms := make([]Term, 0, n)
+		for j := 0; j < n; j++ {
+			v := rng.Float64() * 3
+			A[i][j] = v
+			terms = append(terms, Term{j, v})
+		}
+		// Guarantee coverage of variable i%n so the LP is bounded.
+		if A[i][i%n] < 0.5 {
+			A[i][i%n] += 1
+			terms = append(terms, Term{i % n, 1})
+		}
+		b[i] = 1 + rng.Float64()*9
+		p.AddConstraint(terms, LE, b[i])
+	}
+	// Ensure every variable is covered by at least one row.
+	for j := 0; j < n; j++ {
+		covered := false
+		for i := 0; i < m; i++ {
+			if A[i][j] > 0.4 {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			p.AddConstraint([]Term{{j, 1}}, LE, 10)
+			rowA := make([]float64, n)
+			rowA[j] = 1
+			A = append(A, rowA)
+			b = append(b, 10)
+		}
+	}
+	return p, A, b, c
+}
+
+// Property: solutions of random LPs are feasible, and no random feasible
+// point beats the reported optimum.
+func TestPropertyRandomLPFeasibleAndOptimalish(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		p, A, b, c := randomLP(rng, n, m)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for i := range A {
+			lhs := 0.0
+			for j := range A[i] {
+				lhs += A[i][j] * sol.X[j]
+			}
+			if lhs > b[i]+1e-6 {
+				return false
+			}
+		}
+		for j := range sol.X {
+			if sol.X[j] < -1e-9 {
+				return false
+			}
+		}
+		// Random feasible points never beat the optimum.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 4
+			}
+			// Scale into the feasible region.
+			scale := 1.0
+			for i := range A {
+				lhs := 0.0
+				for j := range A[i] {
+					lhs += A[i][j] * x[j]
+				}
+				if lhs > b[i] {
+					s := b[i] / lhs
+					if s < scale {
+						scale = s
+					}
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += c[j] * x[j] * scale
+			}
+			if obj > sol.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strong duality. For max cᵀx s.t. Ax ≤ b, x ≥ 0, the dual is
+// min bᵀy s.t. Aᵀy ≥ c, y ≥ 0; both optima must agree.
+func TestPropertyStrongDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 2 + rng.Intn(5)
+		primal, A, b, c := randomLP(rng, n, m)
+		psol, err := primal.Solve()
+		if err != nil || psol.Status != Optimal {
+			return false
+		}
+		dual := NewProblem(Minimize)
+		for i := range A {
+			dual.AddVariable()
+			dual.SetObjective(i, b[i])
+		}
+		for j := 0; j < n; j++ {
+			terms := make([]Term, 0, len(A))
+			for i := range A {
+				terms = append(terms, Term{i, A[i][j]})
+			}
+			dual.AddConstraint(terms, GE, c[j])
+		}
+		dsol, err := dual.Solve()
+		if err != nil || dsol.Status != Optimal {
+			return false
+		}
+		gap := math.Abs(psol.Objective - dsol.Objective)
+		return gap <= 1e-5*(1+math.Abs(psol.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, _, _, _ := randomLP(rng, 60, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

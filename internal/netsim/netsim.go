@@ -1,0 +1,273 @@
+// Package netsim is a discrete-time fluid network emulator standing in for
+// the paper's Mininet + iperf3 prototype evaluation (§VII, Fig. 12). Flows
+// are constant-bit-rate (UDP-like) and routed by per-prefix forwarding
+// configurations — per-IP-prefix DAGs with splitting ratios, the extra
+// expressiveness COYOTE gains from per-prefix lies. Links drop the excess
+// whenever total arrivals exceed capacity (FIFO tail drop, proportional
+// across competing flows), and drops propagate downstream through a
+// fixed-point iteration.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// PrefixRouting routes one IP prefix: the prefix's owner (egress) node and
+// per-node next-hop splitting ratios.
+type PrefixRouting struct {
+	Prefix string
+	Owner  graph.NodeID
+	// Split[u] maps each next-hop edge to the fraction of u's
+	// prefix-traffic forwarded on it. Fractions at a node must sum to 1,
+	// and the positive-fraction edges must form a DAG.
+	Split map[graph.NodeID]map[graph.EdgeID]float64
+
+	order []graph.NodeID // topological order of the split support, computed by AddPrefix
+}
+
+// Flow is a CBR traffic source toward a prefix. Rate gives the sending rate
+// at an absolute time (allowing the 3-phase scenario of Fig. 12b).
+type Flow struct {
+	Name   string
+	Src    graph.NodeID
+	Prefix string
+	Rate   func(t float64) float64
+}
+
+// StepStat records one simulation step.
+type StepStat struct {
+	Time     float64
+	Sent     float64 // aggregate offered load this step
+	Received float64 // aggregate traffic delivered to prefix owners
+	Dropped  float64 // Sent − Received
+}
+
+// DropRate is the fraction of traffic lost this step.
+func (s StepStat) DropRate() float64 {
+	if s.Sent <= 0 {
+		return 0
+	}
+	return s.Dropped / s.Sent
+}
+
+// Sim is a configured emulation.
+type Sim struct {
+	G        *graph.Graph
+	Prefixes map[string]*PrefixRouting
+	Flows    []*Flow
+}
+
+// New creates an empty simulation over g.
+func New(g *graph.Graph) *Sim {
+	return &Sim{G: g, Prefixes: make(map[string]*PrefixRouting)}
+}
+
+// AddPrefix registers a prefix routing configuration.
+func (s *Sim) AddPrefix(p *PrefixRouting) error {
+	if _, dup := s.Prefixes[p.Prefix]; dup {
+		return fmt.Errorf("netsim: duplicate prefix %q", p.Prefix)
+	}
+	for u, split := range p.Split {
+		sum := 0.0
+		for id, frac := range split {
+			if frac < 0 {
+				return fmt.Errorf("netsim: negative split at node %d", u)
+			}
+			if s.G.Edge(id).From != u {
+				return fmt.Errorf("netsim: split at node %d references edge %d not leaving it", u, id)
+			}
+			sum += frac
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("netsim: splits at node %d sum to %g", u, sum)
+		}
+	}
+	order, err := s.topoOrder(p)
+	if err != nil {
+		return err
+	}
+	p.order = order
+	s.Prefixes[p.Prefix] = p
+	return nil
+}
+
+// topoOrder computes a topological order of the split support (Kahn's
+// algorithm), rejecting cyclic configurations.
+func (s *Sim) topoOrder(p *PrefixRouting) ([]graph.NodeID, error) {
+	n := s.G.NumNodes()
+	indeg := make([]int, n)
+	for _, split := range p.Split {
+		for id, frac := range split {
+			if frac > 0 {
+				indeg[s.G.Edge(id).To]++
+			}
+		}
+	}
+	var queue, order []graph.NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, graph.NodeID(i))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for id, frac := range p.Split[u] {
+			if frac <= 0 {
+				continue
+			}
+			v := s.G.Edge(id).To
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("netsim: prefix %q forwarding contains a loop", p.Prefix)
+	}
+	return order, nil
+}
+
+// AddFlow registers a traffic source.
+func (s *Sim) AddFlow(f *Flow) error {
+	if _, ok := s.Prefixes[f.Prefix]; !ok {
+		return fmt.Errorf("netsim: flow %q targets unknown prefix %q", f.Name, f.Prefix)
+	}
+	s.Flows = append(s.Flows, f)
+	return nil
+}
+
+// Run simulates [0, duration) in steps of dt and returns per-step stats.
+func (s *Sim) Run(duration, dt float64) ([]StepStat, error) {
+	if dt <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive duration or dt")
+	}
+	var stats []StepStat
+	for t := 0.0; t < duration-1e-12; t += dt {
+		st, err := s.step(t)
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, st)
+	}
+	return stats, nil
+}
+
+// step computes the fluid equilibrium for one instant: per-link survival
+// factors are iterated to a fixed point (arrivals depend on upstream drops,
+// drops depend on arrivals).
+func (s *Sim) step(t float64) (StepStat, error) {
+	nE := s.G.NumEdges()
+	factor := make([]float64, nE)
+	for e := range factor {
+		factor[e] = 1
+	}
+	var arrivals []float64
+	var received, sent float64
+	for iter := 0; iter < 50; iter++ {
+		var err error
+		arrivals, received, sent, err = s.propagate(t, factor)
+		if err != nil {
+			return StepStat{}, err
+		}
+		worstChange := 0.0
+		for e := 0; e < nE; e++ {
+			cap := s.G.Edge(graph.EdgeID(e)).Capacity
+			want := 1.0
+			if arrivals[e] > cap {
+				want = cap / arrivals[e]
+			}
+			// Damped update keeps the fixed point stable.
+			next := factor[e] + 0.7*(want-factor[e])
+			if d := math.Abs(next - factor[e]); d > worstChange {
+				worstChange = d
+			}
+			factor[e] = next
+		}
+		if worstChange < 1e-9 {
+			break
+		}
+	}
+	return StepStat{Time: t, Sent: sent, Received: received, Dropped: sent - received}, nil
+}
+
+// propagate pushes all flows through their prefix DAGs applying per-link
+// survival factors, returning per-link offered arrivals (before drops on
+// that link) plus delivered and offered totals.
+func (s *Sim) propagate(t float64, factor []float64) (arrivals []float64, received, sent float64, err error) {
+	arrivals = make([]float64, s.G.NumEdges())
+	for _, f := range s.Flows {
+		rate := f.Rate(t)
+		if rate < 0 {
+			return nil, 0, 0, fmt.Errorf("netsim: flow %q has negative rate", f.Name)
+		}
+		if rate == 0 {
+			continue
+		}
+		sent += rate
+		p := s.Prefixes[f.Prefix]
+		received += s.route(f.Src, rate, p, factor, arrivals)
+	}
+	return arrivals, received, sent, nil
+}
+
+// route pushes rate units from src toward the prefix owner in topological
+// order, recording per-link arrivals and applying survival factors; it
+// returns the delivered volume.
+func (s *Sim) route(src graph.NodeID, rate float64, p *PrefixRouting, factor, arrivals []float64) float64 {
+	if src == p.Owner {
+		return rate
+	}
+	inflow := make([]float64, s.G.NumNodes())
+	inflow[src] = rate
+	for _, u := range p.order {
+		if u == p.Owner || inflow[u] == 0 {
+			continue
+		}
+		split := p.Split[u]
+		if len(split) == 0 {
+			inflow[u] = 0 // blackholed
+			continue
+		}
+		for id, frac := range split {
+			if frac == 0 {
+				continue
+			}
+			offered := inflow[u] * frac
+			arrivals[id] += offered
+			inflow[s.G.Edge(id).To] += offered * factor[id]
+		}
+	}
+	return inflow[p.Owner]
+}
+
+// PhaseRate builds a piecewise-constant rate function: rates[i] applies on
+// [i·phaseLen, (i+1)·phaseLen); zero afterwards. Fig. 12's three
+// 15-second traffic scenarios use this shape.
+func PhaseRate(phaseLen float64, rates ...float64) func(float64) float64 {
+	return func(t float64) float64 {
+		i := int(t / phaseLen)
+		if i < 0 || i >= len(rates) {
+			return 0
+		}
+		return rates[i]
+	}
+}
+
+// CumulativeDropRate aggregates total dropped over total sent across steps.
+func CumulativeDropRate(stats []StepStat) float64 {
+	var sent, dropped float64
+	for _, st := range stats {
+		sent += st.Sent
+		dropped += st.Dropped
+	}
+	if sent <= 0 {
+		return 0
+	}
+	return dropped / sent
+}

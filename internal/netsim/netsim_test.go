@@ -1,0 +1,235 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// fig12Topology builds §VII's prototype network: s1, s2, t with unit
+// (1 Mb/s) links; t advertises prefixes t1 and t2.
+func fig12Topology() (*graph.Graph, graph.NodeID, graph.NodeID, graph.NodeID) {
+	g := graph.New()
+	s1 := g.AddNode("s1")
+	s2 := g.AddNode("s2")
+	t := g.AddNode("t")
+	g.AddLink(s1, t, 1, 1)
+	g.AddLink(s2, t, 1, 1)
+	g.AddLink(s1, s2, 1, 1)
+	return g, s1, s2, t
+}
+
+func directSplit(g *graph.Graph, from, to graph.NodeID) map[graph.EdgeID]float64 {
+	id, ok := g.FindEdge(from, to)
+	if !ok {
+		panic("missing edge")
+	}
+	return map[graph.EdgeID]float64{id: 1}
+}
+
+func halfSplit(g *graph.Graph, from, a, b graph.NodeID) map[graph.EdgeID]float64 {
+	ea, _ := g.FindEdge(from, a)
+	eb, _ := g.FindEdge(from, b)
+	return map[graph.EdgeID]float64{ea: 0.5, eb: 0.5}
+}
+
+// addScenarioFlows wires the three 15-second phases of Fig. 12b:
+// (s1→t1, s2→t2) = (0,2), (1,1), (2,0) Mb/s.
+func addScenarioFlows(t *testing.T, sim *Sim, s1, s2 graph.NodeID) {
+	t.Helper()
+	if err := sim.AddFlow(&Flow{Name: "s1-t1", Src: s1, Prefix: "t1", Rate: PhaseRate(15, 0, 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddFlow(&Flow{Name: "s2-t2", Src: s2, Prefix: "t2", Rate: PhaseRate(15, 2, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func phaseDropRates(t *testing.T, stats []StepStat) [3]float64 {
+	t.Helper()
+	var rates [3]float64
+	for p := 0; p < 3; p++ {
+		var sent, dropped float64
+		for _, st := range stats {
+			if st.Time >= float64(p*15) && st.Time < float64((p+1)*15) {
+				sent += st.Sent
+				dropped += st.Dropped
+			}
+		}
+		if sent > 0 {
+			rates[p] = dropped / sent
+		}
+	}
+	return rates
+}
+
+// TestFig12TE1: both sources use only direct paths; phases 1 and 3
+// overload one direct link each → 50% loss; phase 2 is clean.
+func TestFig12TE1(t *testing.T) {
+	g, s1, s2, tt := fig12Topology()
+	sim := New(g)
+	for _, prefix := range []string{"t1", "t2"} {
+		err := sim.AddPrefix(&PrefixRouting{
+			Prefix: prefix, Owner: tt,
+			Split: map[graph.NodeID]map[graph.EdgeID]float64{
+				s1: directSplit(g, s1, tt),
+				s2: directSplit(g, s2, tt),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	addScenarioFlows(t, sim, s1, s2)
+	stats, err := sim.Run(45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := phaseDropRates(t, stats)
+	want := [3]float64{0.5, 0, 0.5}
+	for p := range want {
+		if math.Abs(rates[p]-want[p]) > 1e-6 {
+			t.Fatalf("TE1 phase %d drop rate = %g, want %g", p+1, rates[p], want[p])
+		}
+	}
+}
+
+// TestFig12TE2: s1 splits all its traffic between direct and via-s2; s2
+// only direct. Phase drops: 50%, 25%, 0%.
+func TestFig12TE2(t *testing.T) {
+	g, s1, s2, tt := fig12Topology()
+	sim := New(g)
+	for _, prefix := range []string{"t1", "t2"} {
+		err := sim.AddPrefix(&PrefixRouting{
+			Prefix: prefix, Owner: tt,
+			Split: map[graph.NodeID]map[graph.EdgeID]float64{
+				s1: halfSplit(g, s1, tt, s2),
+				s2: directSplit(g, s2, tt),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	addScenarioFlows(t, sim, s1, s2)
+	stats, err := sim.Run(45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := phaseDropRates(t, stats)
+	want := [3]float64{0.5, 0.25, 0}
+	for p := range want {
+		if math.Abs(rates[p]-want[p]) > 1e-3 {
+			t.Fatalf("TE2 phase %d drop rate = %g, want %g", p+1, rates[p], want[p])
+		}
+	}
+}
+
+// TestFig12Coyote: per-prefix DAGs — t1 splits at s1, t2 splits at s2 —
+// eliminate drops in every phase, the paper's headline prototype result.
+func TestFig12Coyote(t *testing.T) {
+	g, s1, s2, tt := fig12Topology()
+	sim := New(g)
+	if err := sim.AddPrefix(&PrefixRouting{
+		Prefix: "t1", Owner: tt,
+		Split: map[graph.NodeID]map[graph.EdgeID]float64{
+			s1: halfSplit(g, s1, tt, s2),
+			s2: directSplit(g, s2, tt),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddPrefix(&PrefixRouting{
+		Prefix: "t2", Owner: tt,
+		Split: map[graph.NodeID]map[graph.EdgeID]float64{
+			s2: halfSplit(g, s2, tt, s1),
+			s1: directSplit(g, s1, tt),
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addScenarioFlows(t, sim, s1, s2)
+	stats, err := sim.Run(45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := phaseDropRates(t, stats)
+	for p, r := range rates {
+		if r > 1e-6 {
+			t.Fatalf("COYOTE phase %d drop rate = %g, want 0", p+1, r)
+		}
+	}
+	if c := CumulativeDropRate(stats); c > 1e-6 {
+		t.Fatalf("COYOTE cumulative drop rate = %g, want 0", c)
+	}
+}
+
+func TestAddPrefixRejectsLoop(t *testing.T) {
+	g, s1, s2, tt := fig12Topology()
+	e12, _ := g.FindEdge(s1, s2)
+	e21, _ := g.FindEdge(s2, s1)
+	err := New(g).AddPrefix(&PrefixRouting{
+		Prefix: "bad", Owner: tt,
+		Split: map[graph.NodeID]map[graph.EdgeID]float64{
+			s1: {e12: 1},
+			s2: {e21: 1},
+		},
+	})
+	if err == nil {
+		t.Fatal("looping prefix configuration must be rejected")
+	}
+}
+
+func TestAddPrefixRejectsBadSplits(t *testing.T) {
+	g, s1, _, tt := fig12Topology()
+	e1t, _ := g.FindEdge(s1, tt)
+	sim := New(g)
+	err := sim.AddPrefix(&PrefixRouting{
+		Prefix: "p", Owner: tt,
+		Split: map[graph.NodeID]map[graph.EdgeID]float64{s1: {e1t: 0.7}},
+	})
+	if err == nil {
+		t.Fatal("splits summing to 0.7 must be rejected")
+	}
+}
+
+func TestAddFlowUnknownPrefix(t *testing.T) {
+	g, s1, _, _ := fig12Topology()
+	sim := New(g)
+	if err := sim.AddFlow(&Flow{Name: "f", Src: s1, Prefix: "nope", Rate: PhaseRate(1, 1)}); err == nil {
+		t.Fatal("flow to unknown prefix must be rejected")
+	}
+}
+
+func TestBlackholedTrafficCountsAsDropped(t *testing.T) {
+	g, s1, s2, tt := fig12Topology()
+	sim := New(g)
+	// s2 has no split entry: its traffic is blackholed.
+	if err := sim.AddPrefix(&PrefixRouting{
+		Prefix: "p", Owner: tt,
+		Split: map[graph.NodeID]map[graph.EdgeID]float64{s1: directSplit(g, s1, tt)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddFlow(&Flow{Name: "f", Src: s2, Prefix: "p", Rate: PhaseRate(10, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.Run(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := CumulativeDropRate(stats); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("blackholed drop rate = %g, want 1", c)
+	}
+}
+
+func TestPhaseRate(t *testing.T) {
+	r := PhaseRate(15, 0, 1, 2)
+	cases := map[float64]float64{0: 0, 14.9: 0, 15: 1, 29.9: 1, 30: 2, 44.9: 2, 45: 0, 100: 0}
+	for tt, want := range cases {
+		if got := r(tt); got != want {
+			t.Fatalf("PhaseRate(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package oblivious implements the oblivious-performance machinery of the
+// paper: evaluating PERF(φ, D) — the worst-case ratio between a routing's
+// maximum link utilization and the demands-aware optimum within the same
+// DAGs (§III, §VI) — and COYOTE's adversarial optimization loop that
+// couples the worst-case-demand finder with the GP-style splitting-ratio
+// optimizer (§V-C, Appendix C).
+//
+// Two adversaries are provided. The exact one solves, per link, the "slave
+// LP" of Appendix C (maximize the link's utilization over all demand
+// matrices in the uncertainty set that are routable within the DAGs'
+// capacities). The fast one exploits that for a fixed routing the load on a
+// link is linear in the demand matrix, so a box-constrained maximum is
+// attained at a corner readable from the coefficient signs; corners are
+// then normalized by OPTDAG via the mcf solvers. Single-pair demand
+// matrices (the adversaries behind Theorem 4) are additionally screened in
+// closed form through DAG-restricted max-flow.
+package oblivious
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/maxflow"
+	"github.com/coyote-te/coyote/internal/mcf"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+)
+
+// EvalConfig tunes the evaluator.
+type EvalConfig struct {
+	Eps            float64 // FPTAS accuracy for OPTDAG on large instances (default 0.1)
+	Samples        int     // random box corners per evaluation (default 8)
+	Seed           int64   // RNG seed for corner sampling
+	ExactNodeLimit int     // use the exact LP for OPTDAG when NumNodes ≤ this (default 18)
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.Eps <= 0 {
+		c.Eps = 0.1
+	}
+	if c.Samples <= 0 {
+		c.Samples = 8
+	}
+	if c.ExactNodeLimit <= 0 {
+		c.ExactNodeLimit = 18
+	}
+	return c
+}
+
+// Evaluator computes worst-case performance ratios of routings over a fixed
+// uncertainty set and fixed per-destination DAGs. It caches OPTDAG values
+// (which depend only on the demand matrix and DAGs, not the routing) and
+// per-pair DAG max-flows, so repeated evaluations inside the adversarial
+// loop are cheap. Evaluator is safe for concurrent use.
+type Evaluator struct {
+	G    *graph.Graph
+	DAGs []*dagx.DAG
+	Box  *demand.Box
+	cfg  EvalConfig
+
+	mu       sync.Mutex
+	optCache map[uint64]float64
+	mfCache  map[[2]graph.NodeID]float64
+	rng      *rand.Rand
+}
+
+// NewEvaluator builds an evaluator for the given DAGs and uncertainty box.
+func NewEvaluator(g *graph.Graph, dags []*dagx.DAG, box *demand.Box, cfg EvalConfig) *Evaluator {
+	cfg = cfg.withDefaults()
+	return &Evaluator{
+		G:        g,
+		DAGs:     dags,
+		Box:      box,
+		cfg:      cfg,
+		optCache: make(map[uint64]float64),
+		mfCache:  make(map[[2]graph.NodeID]float64),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// OptDAG returns the demands-aware optimal utilization of D within the
+// evaluator's DAGs (cached; exact LP on small graphs, FPTAS otherwise).
+func (ev *Evaluator) OptDAG(D *demand.Matrix) float64 {
+	h := hashMatrix(D)
+	ev.mu.Lock()
+	if v, ok := ev.optCache[h]; ok {
+		ev.mu.Unlock()
+		return v
+	}
+	ev.mu.Unlock()
+	var v float64
+	var err error
+	if ev.G.NumNodes() <= ev.cfg.ExactNodeLimit {
+		v, _, err = mcf.MinMLUExact(ev.G, ev.DAGs, D)
+	} else {
+		v, _, err = mcf.MinMLUApprox(ev.G, ev.DAGs, D, ev.cfg.Eps)
+	}
+	if err != nil {
+		v = math.Inf(1)
+	}
+	ev.mu.Lock()
+	ev.optCache[h] = v
+	ev.mu.Unlock()
+	return v
+}
+
+// pairMaxFlow returns the maximum s→t flow within DAG_t (cached). The
+// optimal utilization of the single-pair demand (s,t,d) within the DAGs is
+// exactly d/pairMaxFlow(s,t).
+func (ev *Evaluator) pairMaxFlow(s, t graph.NodeID) float64 {
+	key := [2]graph.NodeID{s, t}
+	ev.mu.Lock()
+	if v, ok := ev.mfCache[key]; ok {
+		ev.mu.Unlock()
+		return v
+	}
+	ev.mu.Unlock()
+	net := maxflow.NewNetwork(ev.G.NumNodes())
+	for _, e := range ev.G.Edges() {
+		if ev.DAGs[t].Member[e.ID] {
+			net.AddArc(int(e.From), int(e.To), e.Capacity)
+		}
+	}
+	v := net.MaxFlow(int(s), int(t))
+	ev.mu.Lock()
+	ev.mfCache[key] = v
+	ev.mu.Unlock()
+	return v
+}
+
+// Result reports a worst-case evaluation.
+type Result struct {
+	Ratio   float64        // PERF estimate: max over adversarial DMs of MxLU/OPTDAG
+	WorstDM *demand.Matrix // a demand matrix attaining Ratio
+	MxLU    float64        // the routing's utilization on WorstDM
+	Norm    float64        // OPTDAG(WorstDM)
+}
+
+// Perf estimates PERF(r, Box): the worst normalized utilization of the
+// routing across the uncertainty set. The adversary combines per-link box
+// corners, random corners, the box extremes, and all single-pair demand
+// matrices (evaluated in closed form).
+func (ev *Evaluator) Perf(r *pdrouting.Routing) Result {
+	top := ev.PerfTop(r, 1)
+	return top[0]
+}
+
+// PerfTop runs the same adversary as Perf but returns the k worst distinct
+// demand scenarios found (best first). The adversarial optimization loop
+// feeds several of them into the finite scenario set at once, which
+// converges in far fewer outer rounds than one-at-a-time accumulation.
+func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
+	n := ev.G.NumNodes()
+	nE := ev.G.NumEdges()
+
+	// Load coefficients: coeff[t][s][e].
+	coeff := make([][][]float64, n)
+	for t := 0; t < n; t++ {
+		coeff[t] = r.LoadCoeffs(graph.NodeID(t))
+	}
+
+	var singles []Result
+
+	// Single-pair adversary, exact and closed-form: for demand d on (s,t),
+	// MxLU = d·max_e coeff[t][s][e]/c_e and OPTDAG = d/maxflow(s,t), so the
+	// ratio is maxflow(s,t)·max_e coeff/c — independent of d. Single-pair
+	// matrices belong to the box only when its lower bounds are all zero
+	// (the oblivious sets); skip them otherwise.
+	if ev.Box.Min.Total() == 0 {
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if s == t || ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t)) <= 0 {
+					continue
+				}
+				peak := 0.0
+				for e := 0; e < nE; e++ {
+					u := coeff[t][s][e] / ev.G.Edge(graph.EdgeID(e)).Capacity
+					if u > peak {
+						peak = u
+					}
+				}
+				mf := ev.pairMaxFlow(graph.NodeID(s), graph.NodeID(t))
+				if mf <= 0 {
+					continue
+				}
+				d := ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t))
+				singles = append(singles, Result{
+					Ratio:   peak * mf,
+					WorstDM: demand.SinglePair(n, graph.NodeID(s), graph.NodeID(t), d),
+					MxLU:    peak * d,
+					Norm:    d / mf,
+				})
+			}
+		}
+		// Keep the strongest few; they are candidates for the top-k set.
+		sort.Slice(singles, func(i, j int) bool { return singles[i].Ratio > singles[j].Ratio })
+		if len(singles) > 8 {
+			singles = singles[:8]
+		}
+	}
+
+	// Corner candidates.
+	candidates := make([]*demand.Matrix, 0, nE+ev.cfg.Samples+2)
+	seen := make(map[uint64]bool)
+	add := func(D *demand.Matrix) {
+		if D.Total() <= 0 {
+			return
+		}
+		h := hashMatrix(D)
+		if !seen[h] {
+			seen[h] = true
+			candidates = append(candidates, D)
+		}
+	}
+	add(ev.Box.Max.Clone())
+	// Geometric midpoint ≈ the base matrix of a margin box.
+	mid := demand.NewMatrix(n)
+	for i := range mid.D {
+		mid.D[i] = math.Sqrt(ev.Box.Min.D[i] * ev.Box.Max.D[i])
+	}
+	add(mid)
+	// Per-link corners: maximize the load of each link independently.
+	for e := 0; e < nE; e++ {
+		D := ev.Box.Corner(func(s, t graph.NodeID) bool {
+			return coeff[t][s][e] > 1e-12
+		})
+		add(D)
+	}
+	ev.mu.Lock()
+	for i := 0; i < ev.cfg.Samples; i++ {
+		corner := ev.Box.RandomCorner(ev.rng)
+		ev.mu.Unlock()
+		add(corner)
+		ev.mu.Lock()
+	}
+	ev.mu.Unlock()
+
+	// Evaluate candidates in parallel.
+	type cand struct {
+		ratio, mxlu, norm float64
+		D                 *demand.Matrix
+	}
+	results := make([]cand, len(candidates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, D := range candidates {
+		wg.Add(1)
+		go func(i int, D *demand.Matrix) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			norm := ev.OptDAG(D)
+			if norm <= 0 || math.IsInf(norm, 1) {
+				results[i] = cand{ratio: math.Inf(-1)}
+				return
+			}
+			mxlu := r.MaxUtilization(D)
+			results[i] = cand{ratio: mxlu / norm, mxlu: mxlu, norm: norm, D: D}
+		}(i, D)
+	}
+	wg.Wait()
+	all := make([]Result, 0, len(results)+len(singles))
+	all = append(all, singles...)
+	for _, c := range results {
+		if c.D != nil && !math.IsInf(c.ratio, -1) {
+			all = append(all, Result{Ratio: c.ratio, WorstDM: c.D, MxLU: c.mxlu, Norm: c.norm})
+		}
+	}
+	if len(all) == 0 {
+		return []Result{{Ratio: math.Inf(-1)}}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Ratio > all[j].Ratio })
+	if k < 1 {
+		k = 1
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// hashMatrix fingerprints a demand matrix for caching.
+func hashMatrix(D *demand.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range D.D {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,149 @@
+package oblivious
+
+import (
+	"math"
+
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/lp"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+)
+
+// PerfExact computes the exact worst-case performance ratio of routing r
+// over the evaluator's uncertainty set by solving, for every link, the
+// "slave LP" of Appendix C: maximize the link's utilization over all
+// demand matrices D in the cone of the box that are routable within the
+// DAGs without exceeding capacities (i.e. OPTDAG(D) ≤ 1). The maximum over
+// links is PERF(r, Box).
+//
+// The LP has Θ(n² + n·|E|) variables, so PerfExact is intended for small
+// instances, tests, and the adversary ablation; the sampling adversary
+// (Perf) is the production path.
+func (ev *Evaluator) PerfExact(r *pdrouting.Routing) (Result, error) {
+	g := ev.G
+	n := g.NumNodes()
+	nE := g.NumEdges()
+
+	coeff := make([][][]float64, n)
+	actives := make([]bool, n) // destinations that can receive demand
+	for t := 0; t < n; t++ {
+		coeff[t] = r.LoadCoeffs(graph.NodeID(t))
+		for s := 0; s < n; s++ {
+			if s != t && ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t)) > 0 {
+				actives[t] = true
+			}
+		}
+	}
+
+	best := Result{Ratio: math.Inf(-1)}
+	for targetEdge := 0; targetEdge < nE; targetEdge++ {
+		prob := lp.NewProblem(lp.Maximize)
+		lambda := prob.AddVariable()
+
+		// Demand variables.
+		dVar := make([][]int, n)
+		for s := 0; s < n; s++ {
+			dVar[s] = make([]int, n)
+			for t := 0; t < n; t++ {
+				dVar[s][t] = -1
+				if s != t && ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t)) > 0 {
+					dVar[s][t] = prob.AddVariable()
+				}
+			}
+		}
+		// In-DAG flow variables per active destination.
+		gVar := make([][]int, n)
+		for t := 0; t < n; t++ {
+			if !actives[t] {
+				continue
+			}
+			gVar[t] = make([]int, nE)
+			for e := 0; e < nE; e++ {
+				gVar[t][e] = -1
+				if ev.DAGs[t].Member[e] {
+					gVar[t][e] = prob.AddVariable()
+				}
+			}
+		}
+		// Conservation: out - in = d_vt at every v ≠ t.
+		for t := 0; t < n; t++ {
+			if !actives[t] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if v == t {
+					continue
+				}
+				var terms []lp.Term
+				for _, id := range g.Out(graph.NodeID(v)) {
+					if gVar[t][id] >= 0 {
+						terms = append(terms, lp.Term{Var: gVar[t][id], Coeff: 1})
+					}
+				}
+				for _, id := range g.In(graph.NodeID(v)) {
+					if gVar[t][id] >= 0 {
+						terms = append(terms, lp.Term{Var: gVar[t][id], Coeff: -1})
+					}
+				}
+				if dVar[v][t] >= 0 {
+					terms = append(terms, lp.Term{Var: dVar[v][t], Coeff: -1})
+				}
+				prob.AddConstraint(terms, lp.EQ, 0)
+			}
+		}
+		// Capacities.
+		for e := 0; e < nE; e++ {
+			var terms []lp.Term
+			for t := 0; t < n; t++ {
+				if actives[t] && gVar[t] != nil && gVar[t][e] >= 0 {
+					terms = append(terms, lp.Term{Var: gVar[t][e], Coeff: 1})
+				}
+			}
+			if len(terms) > 0 {
+				prob.AddConstraint(terms, lp.LE, g.Edge(graph.EdgeID(e)).Capacity)
+			}
+		}
+		// Box cone: λ·min ≤ d ≤ λ·max.
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if dVar[s][t] < 0 {
+					continue
+				}
+				lo := ev.Box.Min.At(graph.NodeID(s), graph.NodeID(t))
+				hi := ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t))
+				if lo > 0 {
+					prob.AddConstraint([]lp.Term{{Var: dVar[s][t], Coeff: 1}, {Var: lambda, Coeff: -lo}}, lp.GE, 0)
+				}
+				prob.AddConstraint([]lp.Term{{Var: dVar[s][t], Coeff: 1}, {Var: lambda, Coeff: -hi}}, lp.LE, 0)
+			}
+		}
+		// Objective: utilization of targetEdge.
+		ce := g.Edge(graph.EdgeID(targetEdge)).Capacity
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if dVar[s][t] >= 0 && coeff[t][s][targetEdge] > 0 {
+					prob.SetObjective(dVar[s][t], coeff[t][s][targetEdge]/ce)
+				}
+			}
+		}
+		sol, err := prob.Solve()
+		if err != nil {
+			return Result{}, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		if sol.Objective > best.Ratio {
+			D := demand.NewMatrix(n)
+			for s := 0; s < n; s++ {
+				for t := 0; t < n; t++ {
+					if dVar[s][t] >= 0 {
+						D.D[s*n+t] = sol.X[dVar[s][t]]
+					}
+				}
+			}
+			best = Result{Ratio: sol.Objective, WorstDM: D, MxLU: sol.Objective, Norm: 1}
+		}
+	}
+	return best, nil
+}

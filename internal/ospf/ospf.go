@@ -1,0 +1,149 @@
+// Package ospf models the link-state view that COYOTE manipulates: a
+// link-state database (LSDB) holding the real topology plus injected fake
+// nodes and links (the "lies" of §V-D), the SPF computation every router
+// runs over that database, and the resulting FIBs with ECMP next-hop
+// multiplicities.
+//
+// A fake node f for destination t is advertised adjacent to exactly one
+// real router u (cost u→f = CostUp) and claims reachability to t (cost
+// f→t = CostDown). Routers treat f as any other vertex; if a path through
+// f ties for shortest, u installs an extra FIB entry whose forwarding
+// adjacency resolves to the real neighbor MapsTo — exactly the Fibbing
+// mechanism ([8], [9]) Fig. 1d illustrates.
+package ospf
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// FakeNode is one injected lie, scoped to a single destination prefix.
+type FakeNode struct {
+	Name     string       // diagnostic label
+	Attached graph.NodeID // the router being lied to
+	MapsTo   graph.NodeID // real neighbor the fake adjacency resolves to
+	Dest     graph.NodeID // destination (prefix owner) this lie is scoped to
+	CostUp   float64      // advertised cost Attached → fake node
+	CostDown float64      // advertised cost fake node → Dest
+}
+
+// LSDB is a link-state database: the real topology plus per-destination
+// fake nodes.
+type LSDB struct {
+	G     *graph.Graph
+	Fakes map[graph.NodeID][]FakeNode // keyed by destination
+}
+
+// NewLSDB wraps a real topology with an empty lie set.
+func NewLSDB(g *graph.Graph) *LSDB {
+	return &LSDB{G: g, Fakes: make(map[graph.NodeID][]FakeNode)}
+}
+
+// Inject adds a fake node to the database.
+func (db *LSDB) Inject(f FakeNode) error {
+	if f.CostUp <= 0 || f.CostDown < 0 {
+		return fmt.Errorf("ospf: fake node %q has non-positive costs", f.Name)
+	}
+	if f.MapsTo == f.Attached {
+		return fmt.Errorf("ospf: fake node %q maps to its own router", f.Name)
+	}
+	if _, ok := db.G.FindEdge(f.Attached, f.MapsTo); !ok {
+		return fmt.Errorf("ospf: fake node %q maps to %d, not a neighbor of %d", f.Name, f.MapsTo, f.Attached)
+	}
+	db.Fakes[f.Dest] = append(db.Fakes[f.Dest], f)
+	return nil
+}
+
+// NumFakeNodes reports the total number of injected lies.
+func (db *LSDB) NumFakeNodes() int {
+	n := 0
+	for _, fs := range db.Fakes {
+		n += len(fs)
+	}
+	return n
+}
+
+// FIB is a router's forwarding table toward one destination: real next-hop
+// neighbor → ECMP multiplicity (number of equal-cost adjacencies resolving
+// to that neighbor, fake ones included).
+type FIB map[graph.NodeID]int
+
+// SPF runs the shortest-path-first computation every router performs over
+// the augmented LSDB for destination dest, and returns each router's FIB.
+// fibs[u] is nil for unreachable routers and for dest itself.
+func (db *LSDB) SPF(dest graph.NodeID) []FIB {
+	g := db.G
+	n := g.NumNodes()
+	fakes := db.Fakes[dest]
+
+	// Distances toward dest over the augmented graph. Fake nodes only have
+	// the path f → dest (CostDown), so dist(f) = CostDown, and they are
+	// reachable only from their attachment router.
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[dest] = 0
+	// Bellman–Ford over real edges plus fake shortcuts; the graph is small
+	// and this sidesteps heap bookkeeping for the fake adjacencies.
+	for iter := 0; iter < n+1; iter++ {
+		changed := false
+		for _, e := range g.Edges() {
+			if nd := e.Weight + dist[e.To]; nd < dist[e.From]-1e-15 {
+				dist[e.From] = nd
+				changed = true
+			}
+		}
+		for _, f := range fakes {
+			if nd := f.CostUp + f.CostDown; nd < dist[f.Attached]-1e-15 {
+				dist[f.Attached] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	const tol = 1e-9
+	fibs := make([]FIB, n)
+	for u := 0; u < n; u++ {
+		if graph.NodeID(u) == dest || math.IsInf(dist[u], 1) {
+			continue
+		}
+		fib := make(FIB)
+		for _, id := range g.Out(graph.NodeID(u)) {
+			e := g.Edge(id)
+			if math.Abs(dist[u]-(e.Weight+dist[e.To])) <= tol*math.Max(1, dist[u]) {
+				fib[e.To]++
+			}
+		}
+		for _, f := range fakes {
+			if f.Attached != graph.NodeID(u) {
+				continue
+			}
+			if math.Abs(dist[u]-(f.CostUp+f.CostDown)) <= tol*math.Max(1, dist[u]) {
+				fib[f.MapsTo]++
+			}
+		}
+		if len(fib) > 0 {
+			fibs[u] = fib
+		}
+	}
+	return fibs
+}
+
+// Ratios converts a FIB into splitting ratios per real next-hop.
+func (f FIB) Ratios() map[graph.NodeID]float64 {
+	total := 0
+	for _, m := range f {
+		total += m
+	}
+	out := make(map[graph.NodeID]float64, len(f))
+	for nh, m := range f {
+		out[nh] = float64(m) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package pdrouting
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// FIBEntry is one forwarding entry in the exported configuration: at
+// Router, traffic toward Destination forwards the given Fraction via
+// NextHop.
+type FIBEntry struct {
+	Router      string  `json:"router"`
+	Destination string  `json:"destination"`
+	NextHop     string  `json:"next_hop"`
+	Fraction    float64 `json:"fraction"`
+}
+
+// Export flattens the routing into deterministic FIB entries (sorted by
+// destination, router, next-hop), skipping zero ratios.
+func (r *Routing) Export() []FIBEntry {
+	var out []FIBEntry
+	for t := range r.DAGs {
+		phi := r.Phi[t]
+		for u := 0; u < r.G.NumNodes(); u++ {
+			if u == t {
+				continue
+			}
+			for _, id := range r.DAGs[t].OutEdges(r.G, graph.NodeID(u)) {
+				if phi[id] <= 0 {
+					continue
+				}
+				e := r.G.Edge(id)
+				out = append(out, FIBEntry{
+					Router:      r.G.Name(e.From),
+					Destination: r.G.Name(graph.NodeID(t)),
+					NextHop:     r.G.Name(e.To),
+					Fraction:    phi[id],
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Destination != b.Destination {
+			return a.Destination < b.Destination
+		}
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		return a.NextHop < b.NextHop
+	})
+	return out
+}
+
+// WriteJSON emits the exported configuration as indented JSON.
+func (r *Routing) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
+}

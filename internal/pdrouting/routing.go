@@ -1,0 +1,312 @@
+// Package pdrouting implements the per-destination (PD) routing model of
+// §III of the paper: a routing configuration φ assigns, for every
+// destination t and DAG edge e = (u, v), the fraction φ_t(e) of the
+// destination-t flow entering u that is forwarded on e. Flow fractions
+// f_st(v) and link loads follow by propagation in topological order.
+package pdrouting
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// ratioTol is the tolerance for splitting-ratio normalization checks.
+const ratioTol = 1e-6
+
+// Routing is a complete PD routing: one forwarding DAG and one
+// splitting-ratio vector per destination.
+type Routing struct {
+	G    *graph.Graph
+	DAGs []*dagx.DAG // indexed by destination node
+	Phi  [][]float64 // Phi[t][e]: splitting ratio of edge e toward destination t
+}
+
+// Uniform builds the ECMP-style routing that splits equally among each
+// node's DAG out-edges (Fig. 1b when applied to shortest-path DAGs).
+func Uniform(g *graph.Graph, dags []*dagx.DAG) *Routing {
+	r := &Routing{G: g, DAGs: dags, Phi: make([][]float64, len(dags))}
+	for t, d := range dags {
+		phi := make([]float64, g.NumEdges())
+		for u := 0; u < g.NumNodes(); u++ {
+			if graph.NodeID(u) == d.Dst {
+				continue
+			}
+			out := d.OutEdges(g, graph.NodeID(u))
+			if len(out) == 0 {
+				continue
+			}
+			share := 1 / float64(len(out))
+			for _, id := range out {
+				phi[id] = share
+			}
+		}
+		r.Phi[t] = phi
+	}
+	return r
+}
+
+// NewZero builds a routing with all-zero ratios (to be filled via SetRatios
+// or direct assignment).
+func NewZero(g *graph.Graph, dags []*dagx.DAG) *Routing {
+	r := &Routing{G: g, DAGs: dags, Phi: make([][]float64, len(dags))}
+	for t := range dags {
+		r.Phi[t] = make([]float64, g.NumEdges())
+	}
+	return r
+}
+
+// Clone deep-copies the routing (sharing the graph and DAGs, which are
+// immutable by convention).
+func (r *Routing) Clone() *Routing {
+	c := &Routing{G: r.G, DAGs: r.DAGs, Phi: make([][]float64, len(r.Phi))}
+	for t := range r.Phi {
+		c.Phi[t] = append([]float64(nil), r.Phi[t]...)
+	}
+	return c
+}
+
+// SetRatios assigns node u's splitting ratios toward destination t. The
+// ratios must cover exactly u's DAG out-edges and sum to 1.
+func (r *Routing) SetRatios(t graph.NodeID, u graph.NodeID, ratios map[graph.EdgeID]float64) error {
+	d := r.DAGs[t]
+	out := d.OutEdges(r.G, u)
+	if len(out) != len(ratios) {
+		return fmt.Errorf("pdrouting: node %d has %d DAG out-edges toward %d, got %d ratios", u, len(out), t, len(ratios))
+	}
+	sum := 0.0
+	for _, id := range out {
+		v, ok := ratios[id]
+		if !ok {
+			return fmt.Errorf("pdrouting: missing ratio for edge %d", id)
+		}
+		if v < -ratioTol {
+			return fmt.Errorf("pdrouting: negative ratio %g on edge %d", v, id)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > ratioTol {
+		return fmt.Errorf("pdrouting: ratios at node %d toward %d sum to %g", u, t, sum)
+	}
+	for id, v := range ratios {
+		r.Phi[t][id] = v
+	}
+	return nil
+}
+
+// Validate checks the PD-routing invariants of §III: ratios are
+// non-negative, vanish outside the DAG, and sum to one at every
+// non-destination node that has DAG out-edges.
+func (r *Routing) Validate() error {
+	for t, d := range r.DAGs {
+		phi := r.Phi[t]
+		for e, v := range phi {
+			if v < -ratioTol {
+				return fmt.Errorf("pdrouting: negative ratio %g (dest %d, edge %d)", v, t, e)
+			}
+			if !d.Member[e] && v > ratioTol {
+				return fmt.Errorf("pdrouting: ratio %g on non-DAG edge %d (dest %d)", v, e, t)
+			}
+		}
+		for u := 0; u < r.G.NumNodes(); u++ {
+			if graph.NodeID(u) == d.Dst {
+				continue
+			}
+			out := d.OutEdges(r.G, graph.NodeID(u))
+			if len(out) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, id := range out {
+				sum += phi[id]
+			}
+			if math.Abs(sum-1) > ratioTol {
+				return fmt.Errorf("pdrouting: ratios at node %d toward %d sum to %g", u, t, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// DestLoads propagates the per-source demand column toward destination t
+// and returns the absolute flow placed on every edge. demandCol[v] is the
+// demand from v to t; the destination's own entry is ignored.
+func (r *Routing) DestLoads(t graph.NodeID, demandCol []float64) []float64 {
+	d := r.DAGs[t]
+	phi := r.Phi[t]
+	inflow := make([]float64, r.G.NumNodes())
+	for v, dem := range demandCol {
+		if graph.NodeID(v) != t {
+			inflow[v] = dem
+		}
+	}
+	loads := make([]float64, r.G.NumEdges())
+	for _, u := range d.Order {
+		if u == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range d.OutEdges(r.G, u) {
+			f := inflow[u] * phi[id]
+			if f == 0 {
+				continue
+			}
+			loads[id] += f
+			inflow[r.G.Edge(id).To] += f
+		}
+	}
+	return loads
+}
+
+// LinkLoads returns the total flow on every edge when routing demand matrix
+// D (summing the per-destination propagations).
+func (r *Routing) LinkLoads(D *demand.Matrix) []float64 {
+	loads := make([]float64, r.G.NumEdges())
+	for t := 0; t < r.G.NumNodes(); t++ {
+		col := D.ToDestination(graph.NodeID(t))
+		any := false
+		for _, v := range col {
+			if v > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		lt := r.DestLoads(graph.NodeID(t), col)
+		for e := range loads {
+			loads[e] += lt[e]
+		}
+	}
+	return loads
+}
+
+// MaxUtilization returns MxLU(φ, D) = max_e load(e)/c_e (§III).
+func (r *Routing) MaxUtilization(D *demand.Matrix) float64 {
+	loads := r.LinkLoads(D)
+	mx := 0.0
+	for e, l := range loads {
+		u := l / r.G.Edge(graph.EdgeID(e)).Capacity
+		if u > mx {
+			mx = u
+		}
+	}
+	return mx
+}
+
+// SourceFractions returns f_st(v) for all v: the fraction of the s→t demand
+// entering each vertex (§III), computed by propagating a unit of flow from
+// s toward t.
+func (r *Routing) SourceFractions(s, t graph.NodeID) []float64 {
+	col := make([]float64, r.G.NumNodes())
+	col[s] = 1
+	d := r.DAGs[t]
+	phi := r.Phi[t]
+	inflow := make([]float64, r.G.NumNodes())
+	inflow[s] = 1
+	for _, u := range d.Order {
+		if u == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range d.OutEdges(r.G, u) {
+			f := inflow[u] * phi[id]
+			inflow[r.G.Edge(id).To] += f
+		}
+	}
+	return inflow
+}
+
+// ExpectedHops returns the expected path length, in hops, of s→t traffic:
+// Σ_e f_st(tail(e))·φ_t(e). Fig. 11's stretch metric divides this by the
+// ECMP expected hop count.
+func (r *Routing) ExpectedHops(s, t graph.NodeID) float64 {
+	if s == t {
+		return 0
+	}
+	d := r.DAGs[t]
+	phi := r.Phi[t]
+	inflow := make([]float64, r.G.NumNodes())
+	inflow[s] = 1
+	hops := 0.0
+	for _, u := range d.Order {
+		if u == t || inflow[u] == 0 {
+			continue
+		}
+		for _, id := range d.OutEdges(r.G, u) {
+			f := inflow[u] * phi[id]
+			hops += f
+			inflow[r.G.Edge(id).To] += f
+		}
+	}
+	return hops
+}
+
+// LoadCoeffs returns, for destination t, the coefficient matrix
+// C[s][e] = f_st(tail(e))·φ_t(e): the load that one unit of s→t demand
+// places on edge e. The worst-case-demand adversary exploits the linearity
+// load_t(e, D) = Σ_s d_st·C[s][e].
+func (r *Routing) LoadCoeffs(t graph.NodeID) [][]float64 {
+	n := r.G.NumNodes()
+	C := make([][]float64, n)
+	d := r.DAGs[t]
+	phi := r.Phi[t]
+	for s := 0; s < n; s++ {
+		C[s] = make([]float64, r.G.NumEdges())
+		if graph.NodeID(s) == t {
+			continue
+		}
+		inflow := make([]float64, n)
+		inflow[s] = 1
+		for _, u := range d.Order {
+			if u == t || inflow[u] == 0 {
+				continue
+			}
+			for _, id := range d.OutEdges(r.G, u) {
+				f := inflow[u] * phi[id]
+				C[s][id] = f
+				inflow[r.G.Edge(id).To] += f
+			}
+		}
+	}
+	return C
+}
+
+// FromFlows converts a per-destination flow vector (absolute flow on each
+// edge, supported on the DAG) into splitting ratios. Nodes with zero
+// outgoing flow fall back to a uniform split over their DAG out-edges so
+// the routing stays total. The flow's support must lie within the DAG.
+func FromFlows(g *graph.Graph, d *dagx.DAG, flows []float64) ([]float64, error) {
+	phi := make([]float64, g.NumEdges())
+	for e, f := range flows {
+		if f > 1e-12 && !d.Member[e] {
+			return nil, fmt.Errorf("pdrouting: flow %g on edge %d outside the DAG", f, e)
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if graph.NodeID(u) == d.Dst {
+			continue
+		}
+		out := d.OutEdges(g, graph.NodeID(u))
+		if len(out) == 0 {
+			continue
+		}
+		total := 0.0
+		for _, id := range out {
+			total += flows[id]
+		}
+		if total > 1e-12 {
+			for _, id := range out {
+				phi[id] = flows[id] / total
+			}
+		} else {
+			share := 1 / float64(len(out))
+			for _, id := range out {
+				phi[id] = share
+			}
+		}
+	}
+	return phi, nil
+}

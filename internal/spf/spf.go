@@ -1,0 +1,149 @@
+// Package spf implements OSPF-style shortest-path-first computations:
+// per-destination distance fields, equal-cost next-hop sets, and
+// shortest-path DAGs (the dashed DAGs of Fig. 1b in the paper).
+//
+// Distances are computed toward a destination t over the reversed graph, so
+// that dist[u] is the length of the shortest u→t path; an edge e = (u,v)
+// lies on a shortest path to t iff dist[u] = w(e) + dist[v].
+package spf
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// Inf is the distance assigned to nodes that cannot reach the destination.
+const Inf = math.MaxFloat64
+
+// relTol is the relative tolerance used when testing whether an edge lies on
+// a shortest path; OSPF costs are integral in practice but our heuristics
+// produce floats.
+const relTol = 1e-9
+
+// Tree holds the result of a shortest-path computation toward one
+// destination.
+type Tree struct {
+	Dst  graph.NodeID
+	Dist []float64 // Dist[u] = length of shortest u→Dst path, Inf if unreachable
+}
+
+// ToDestination computes shortest-path distances from every node toward dst
+// using Dijkstra's algorithm over the reversed graph.
+func ToDestination(g *graph.Graph, dst graph.NodeID) *Tree {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[dst] = 0
+	pq := &nodeHeap{{node: dst, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		if item.dist > dist[item.node] {
+			continue
+		}
+		// Relax reversed edges: for edge e=(u,v) entering item.node (v),
+		// a path u→t via v costs w(e) + dist[v].
+		for _, id := range g.In(item.node) {
+			e := g.Edge(id)
+			nd := e.Weight + item.dist
+			if nd < dist[e.From] {
+				dist[e.From] = nd
+				heap.Push(pq, nodeItem{node: e.From, dist: nd})
+			}
+		}
+	}
+	return &Tree{Dst: dst, Dist: dist}
+}
+
+// OnShortestPath reports whether directed edge e lies on some shortest path
+// toward the tree's destination.
+func (t *Tree) OnShortestPath(e graph.Edge) bool {
+	du, dv := t.Dist[e.From], t.Dist[e.To]
+	if du == Inf || dv == Inf {
+		return false
+	}
+	return math.Abs(du-(e.Weight+dv)) <= relTol*math.Max(1, du)
+}
+
+// NextHops returns the ECMP next-hop edge set of node u toward the tree's
+// destination: all outgoing edges on shortest paths.
+func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.EdgeID {
+	if u == t.Dst || t.Dist[u] == Inf {
+		return nil
+	}
+	var hops []graph.EdgeID
+	for _, id := range g.Out(u) {
+		if t.OnShortestPath(g.Edge(id)) {
+			hops = append(hops, id)
+		}
+	}
+	return hops
+}
+
+// ShortestPathEdges returns a boolean membership vector (indexed by EdgeID)
+// of the shortest-path DAG rooted at the tree's destination.
+func (t *Tree) ShortestPathEdges(g *graph.Graph) []bool {
+	member := make([]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		if t.OnShortestPath(e) {
+			member[e.ID] = true
+		}
+	}
+	return member
+}
+
+// AllDestinations computes a Tree for every node of g.
+func AllDestinations(g *graph.Graph) []*Tree {
+	trees := make([]*Tree, g.NumNodes())
+	for t := 0; t < g.NumNodes(); t++ {
+		trees[t] = ToDestination(g, graph.NodeID(t))
+	}
+	return trees
+}
+
+// HopDistance computes hop-count distances (unit weights) toward dst; used
+// for the path-stretch metric of Fig. 11, which measures hops rather than
+// OSPF cost.
+func HopDistance(g *graph.Graph, dst graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[dst] = 0
+	queue := []graph.NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.In(v) {
+			u := g.Edge(id).From
+			if dist[u] == Inf {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+type nodeItem struct {
+	node graph.NodeID
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,175 @@
+// Package topo provides the topology corpus for the evaluation: synthetic,
+// deterministic stand-ins for the 16 Internet Topology Zoo backbones used
+// in §VI of the paper (the ITZ GraphML archive is unavailable offline; see
+// DESIGN.md §2 for the substitution rationale). Each topology matches the
+// published node count scale, degree profile (backbone mesh vs tree-like
+// access network) and a realistic capacity mix, and is generated from a
+// fixed per-name seed so experiments are reproducible.
+//
+// Link weights follow the Cisco-recommended default the paper cites [16]:
+// inversely proportional to capacity.
+package topo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// style describes the generator family for a topology.
+type style int
+
+const (
+	backbone style = iota // ring + random chords (well-meshed ISP core)
+	treeish               // random tree + a few shortcut links
+)
+
+// spec describes one corpus entry.
+type spec struct {
+	nodes int
+	extra int // chords beyond the base structure
+	style style
+	// capacity classes sampled for links (weighted toward the first).
+	caps []float64
+}
+
+// Rocketfuel-inferred ASes are scaled to ~25 nodes (see DESIGN.md); the
+// smaller research/enterprise backbones use their published sizes.
+var corpus = map[string]spec{
+	"AS1221":      {nodes: 22, extra: 18, style: backbone, caps: []float64{10, 2.5, 2.5, 1}},
+	"AS1755":      {nodes: 23, extra: 17, style: backbone, caps: []float64{10, 2.5, 1}},
+	"AS3257":      {nodes: 25, extra: 20, style: backbone, caps: []float64{10, 10, 2.5, 1}},
+	"Abilene":     {nodes: 12, extra: 4, style: backbone, caps: []float64{10}},
+	"ATT":         {nodes: 25, extra: 22, style: backbone, caps: []float64{10, 2.5, 2.5, 1}},
+	"BBNPlanet":   {nodes: 27, extra: 2, style: treeish, caps: []float64{2.5, 1}},
+	"BICS":        {nodes: 33, extra: 15, style: backbone, caps: []float64{10, 2.5, 1}},
+	"BtEurope":    {nodes: 24, extra: 13, style: backbone, caps: []float64{10, 2.5}},
+	"Digex":       {nodes: 31, extra: 4, style: treeish, caps: []float64{2.5, 1}},
+	"Gambia":      {nodes: 10, extra: 1, style: treeish, caps: []float64{1}},
+	"Geant":       {nodes: 22, extra: 14, style: backbone, caps: []float64{10, 10, 2.5}},
+	"Germany":     {nodes: 17, extra: 9, style: backbone, caps: []float64{10, 2.5}},
+	"GRNet":       {nodes: 22, extra: 3, style: treeish, caps: []float64{2.5, 1}},
+	"InternetMCI": {nodes: 19, extra: 14, style: backbone, caps: []float64{10, 2.5}},
+	"Italy":       {nodes: 20, extra: 12, style: backbone, caps: []float64{10, 2.5, 1}},
+	"NSF":         {nodes: 14, extra: 7, style: backbone, caps: []float64{1}},
+}
+
+// Names returns the corpus topology names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(corpus))
+	for name := range corpus {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableNames returns the 14 topologies of Table I (the full corpus minus
+// the near-tree BBNPlanet and Gambia, which the paper excludes).
+func TableNames() []string {
+	var out []string
+	for _, name := range Names() {
+		if name == "BBNPlanet" || name == "Gambia" {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// Load builds the named topology.
+func Load(name string) (*graph.Graph, error) {
+	sp, ok := corpus[name]
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown topology %q (have %v)", name, Names())
+	}
+	return generate(name, sp), nil
+}
+
+// MustLoad is Load for known-good names; it panics on error.
+func MustLoad(name string) *graph.Graph {
+	g, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+func generate(name string, sp spec) *graph.Graph {
+	rng := rand.New(rand.NewSource(seedFor(name)))
+	g := graph.New()
+	for i := 0; i < sp.nodes; i++ {
+		g.AddNode(fmt.Sprintf("%s-%02d", name, i))
+	}
+	pickCap := func() float64 { return sp.caps[rng.Intn(len(sp.caps))] }
+	addLink := func(a, b graph.NodeID) {
+		if a == b {
+			return
+		}
+		if _, dup := g.FindEdge(a, b); dup {
+			return
+		}
+		c := pickCap()
+		w := math.Max(1, math.Round(10/c))
+		g.AddLink(a, b, c, w)
+	}
+	switch sp.style {
+	case backbone:
+		// Ring guarantees biconnectivity; chords add the mesh.
+		for i := 0; i < sp.nodes; i++ {
+			addLink(graph.NodeID(i), graph.NodeID((i+1)%sp.nodes))
+		}
+		for added := 0; added < sp.extra; {
+			a := graph.NodeID(rng.Intn(sp.nodes))
+			b := graph.NodeID(rng.Intn(sp.nodes))
+			if a == b {
+				continue
+			}
+			if _, dup := g.FindEdge(a, b); dup {
+				continue
+			}
+			addLink(a, b)
+			added++
+		}
+	case treeish:
+		// Preferential-attachment tree plus a few shortcuts.
+		for i := 1; i < sp.nodes; i++ {
+			// Bias toward low-index (older, higher-degree) nodes.
+			p := rng.Intn(i*(i+1)/2) + 1
+			parent := 0
+			for acc := 0; parent < i; parent++ {
+				acc += i - parent
+				if p <= acc {
+					break
+				}
+			}
+			if parent >= i {
+				parent = i - 1
+			}
+			addLink(graph.NodeID(i), graph.NodeID(parent))
+		}
+		for added := 0; added < sp.extra; {
+			a := graph.NodeID(rng.Intn(sp.nodes))
+			b := graph.NodeID(rng.Intn(sp.nodes))
+			if a == b {
+				continue
+			}
+			if _, dup := g.FindEdge(a, b); dup {
+				continue
+			}
+			addLink(a, b)
+			added++
+		}
+	}
+	return g
+}

@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+func TestAllTopologiesLoadAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Load(name)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !g.Connected() {
+			t.Errorf("%s: not strongly connected", name)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustLoad("Geant")
+	b := MustLoad("Geant")
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("Geant generation not deterministic in size")
+	}
+	for i := range a.Edges() {
+		ea, eb := a.Edge(graph.EdgeID(i)), b.Edge(graph.EdgeID(i))
+		if ea != eb {
+			t.Fatalf("edge %d differs between generations: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestExpectedSizes(t *testing.T) {
+	cases := map[string]int{"NSF": 14, "Abilene": 12, "Geant": 22, "BICS": 33}
+	for name, nodes := range cases {
+		g := MustLoad(name)
+		if g.NumNodes() != nodes {
+			t.Errorf("%s: %d nodes, want %d", name, g.NumNodes(), nodes)
+		}
+	}
+	// NSF: ring(14) + 7 chords = 21 links = 42 directed edges.
+	if g := MustLoad("NSF"); g.NumEdges() != 42 {
+		t.Errorf("NSF: %d directed edges, want 42", g.NumEdges())
+	}
+}
+
+func TestWeightsInverseCapacity(t *testing.T) {
+	g := MustLoad("AS1755")
+	for _, e := range g.Edges() {
+		if e.Capacity >= 10 && e.Weight != 1 {
+			t.Fatalf("10G link has weight %g, want 1", e.Weight)
+		}
+		if e.Capacity == 1 && e.Weight != 10 {
+			t.Fatalf("1G link has weight %g, want 10", e.Weight)
+		}
+	}
+}
+
+func TestTableNamesExcludesTrees(t *testing.T) {
+	names := TableNames()
+	if len(names) != 14 {
+		t.Fatalf("TableNames has %d entries, want 14", len(names))
+	}
+	for _, n := range names {
+		if n == "BBNPlanet" || n == "Gambia" {
+			t.Fatalf("TableNames must exclude %s", n)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("Load(nope) should fail")
+	}
+}
+
+func TestTreeishSparser(t *testing.T) {
+	tree := MustLoad("Digex")
+	mesh := MustLoad("BICS")
+	treeDeg := float64(tree.NumEdges()) / float64(tree.NumNodes())
+	meshDeg := float64(mesh.NumEdges()) / float64(mesh.NumNodes())
+	if treeDeg >= meshDeg {
+		t.Fatalf("tree-like Digex (deg %g) should be sparser than BICS (deg %g)", treeDeg, meshDeg)
+	}
+}
