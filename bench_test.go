@@ -133,6 +133,45 @@ func BenchmarkNPGadget(b *testing.B) { benchExperiment(b, "negative-np") }
 // BenchmarkPathLowerBound runs the Theorem 4 demonstration.
 func BenchmarkPathLowerBound(b *testing.B) { benchExperiment(b, "negative-path") }
 
+// benchCompute measures the full public-API pipeline (DAG construction,
+// splitting optimization, adversarial evaluation) on a corpus topology at
+// Quick-configuration effort. Options.Workers is left at zero so the
+// evaluation engine sizes its worker pool to GOMAXPROCS — running with
+// `-cpu=1,4` therefore contrasts serial and 4-worker wall-clock directly.
+func benchCompute(b *testing.B, name string) {
+	b.Helper()
+	quick := exp.Quick()
+	topo, err := coyote.LoadTopology(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := coyote.MarginBounds(coyote.GravityDemands(topo, 1), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coyote.New(topo, bounds, coyote.Options{
+			OptimizerIters:   quick.OptIters,
+			AdversarialIters: quick.AdvIters,
+			Samples:          quick.Samples,
+			Eps:              quick.Eps,
+			Seed:             1,
+		}).Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompute is the headline scaling benchmark of the concurrent
+// evaluation engine (DESIGN.md §4): Geant, gravity demands, margin 2.
+// Run `go test -bench=BenchmarkCompute -cpu=1,4` to see the worker-pool
+// speedup recorded in EXPERIMENTS.md; the parity test guarantees the
+// results themselves are identical at every -cpu value.
+func BenchmarkCompute(b *testing.B) { benchCompute(b, "Geant") }
+
+// BenchmarkComputeNSF is the same measurement on the small NSF backbone,
+// where the per-destination fan-out (rather than the candidate fan-out)
+// carries most of the parallelism.
+func BenchmarkComputeNSF(b *testing.B) { benchCompute(b, "NSF") }
+
 // BenchmarkComputeEndToEnd measures the public-API pipeline on the
 // running-example network.
 func BenchmarkComputeEndToEnd(b *testing.B) {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment IDs")
-		run   = flag.String("run", "", "experiment ID to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		run     = flag.String("run", "", "experiment ID to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
+		workers = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -38,6 +40,7 @@ func main() {
 	if *quick {
 		cfg = exp.Quick()
 	}
+	cfg.Workers = *workers
 	switch {
 	case *all:
 		for _, id := range exp.IDs() {
@@ -47,6 +50,11 @@ func main() {
 		}
 	case *run != "":
 		if err := runOne(*run, cfg); err != nil {
+			if errors.Is(err, exp.ErrUnknownID) {
+				fmt.Fprintf(os.Stderr, "coyote-eval: %v\n", err)
+				fmt.Fprintln(os.Stderr, "coyote-eval: use -list to print the experiment IDs")
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 	default:

@@ -33,6 +33,7 @@ func main() {
 		iters       = flag.Int("iters", 500, "optimizer gradient steps")
 		advIters    = flag.Int("adv-iters", 5, "adversarial refinement rounds")
 		seed        = flag.Int64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
 		asJSON      = flag.Bool("json", false, "emit machine-readable JSON")
 		fibOut      = flag.String("fib", "", "write the splitting configuration (FIB fractions) as JSON to this file")
 		msgOut      = flag.String("messages", "", "write the fake-node LSAs as JSON to this file (requires -virtual)")
@@ -55,6 +56,7 @@ func main() {
 		AdversarialIters:   *advIters,
 		LocalSearchWeights: *localSearch,
 		Seed:               *seed,
+		Workers:            *workers,
 	}).Compute()
 	if err != nil {
 		fatal(err)

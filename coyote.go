@@ -147,6 +147,12 @@ type Options struct {
 	LocalSearchWeights bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds the evaluation engine's worker pool (the concurrent
+	// per-destination flow propagation, corner-adversary sampling, and
+	// optimizer passes; see DESIGN.md §4). Zero or negative means one
+	// worker per available CPU. For a fixed Seed the computed
+	// configuration is bit-identical for every Workers value.
+	Workers int
 }
 
 // Engine computes COYOTE configurations for one topology and uncertainty
@@ -207,12 +213,14 @@ func (e *Engine) Compute() (*Config, error) {
 		Eps:     e.opts.Eps,
 		Samples: e.opts.Samples,
 		Seed:    e.opts.Seed,
+		Workers: e.opts.Workers,
 	}
 	ev := oblivious.NewEvaluator(g, dags, e.bounds, evalCfg)
 	routing, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, oblivious.Options{
 		Optimizer: gpopt.Config{Iters: e.opts.OptimizerIters},
 		Eval:      evalCfg,
 		AdvIters:  e.opts.AdversarialIters,
+		Workers:   e.opts.Workers,
 	})
 	ecmp := ev.Perf(oblivious.ECMPOnDAGs(g, dags))
 	return &Config{

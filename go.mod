@@ -1,0 +1,3 @@
+module github.com/coyote-te/coyote
+
+go 1.24

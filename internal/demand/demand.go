@@ -174,11 +174,6 @@ func (b *Box) Corner(pick func(s, t graph.NodeID) bool) *Matrix {
 	return out
 }
 
-// RandomCorner samples a uniformly random corner of the box.
-func (b *Box) RandomCorner(rng *rand.Rand) *Matrix {
-	return b.Corner(func(s, t graph.NodeID) bool { return rng.Intn(2) == 1 })
-}
-
 // SinglePair returns the matrix with demand d on pair (s,t) and zero
 // elsewhere; the adversaries of Theorem 4 use these.
 func SinglePair(n int, s, t graph.NodeID, d float64) *Matrix {

@@ -29,11 +29,12 @@ func AblationAdversary(cfg Config) (*Table, error) {
 		Title:   "Ablation — corner-sampling adversary vs exact slave LP (Abilene, ECMP)",
 		Columns: []string{"margin", "sampled PERF", "exact PERF", "gap", "t(sample)", "t(LP)"},
 	}
+	// Rows stay serial on purpose: this experiment reports wall-clock
+	// timings, and overlapping rows would contaminate them. The evaluator
+	// itself still uses the configured worker pool.
 	for _, margin := range cfg.Margins {
 		box := demand.MarginBox(base, margin)
-		ev := oblivious.NewEvaluator(g, dags, box, oblivious.EvalConfig{
-			Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed,
-		})
+		ev := oblivious.NewEvaluator(g, dags, box, cfg.evalConfig())
 		t0 := time.Now()
 		sampled := ev.Perf(ecmp)
 		tSample := time.Since(t0)

@@ -10,6 +10,9 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"github.com/coyote-te/coyote/internal/gpopt"
+	"github.com/coyote-te/coyote/internal/oblivious"
 )
 
 // Table is the uniform output shape of every experiment: a titled grid.
@@ -90,6 +93,29 @@ type Config struct {
 	Eps       float64   // FPTAS accuracy for OPTDAG normalization
 	Seed      int64
 	Oblivious bool // also compute the COYOTE-oblivious column (costlier)
+	// Workers bounds the harness's worker pool: experiments spread
+	// topologies and data points (margins, failure scenarios) across it,
+	// and it is threaded through to the evaluation engine (DESIGN.md §4).
+	// Zero or negative means one worker per available CPU. Tables are
+	// bit-identical for any value given the same Seed.
+	Workers int
+}
+
+// evalConfig is the oblivious.EvalConfig every experiment derives from its
+// Config, so the Workers and Seed knobs reach the evaluation engine.
+func (c Config) evalConfig() oblivious.EvalConfig {
+	return oblivious.EvalConfig{Eps: c.Eps, Samples: c.Samples, Seed: c.Seed, Workers: c.Workers}
+}
+
+// options is the oblivious.Options every experiment derives from its
+// Config.
+func (c Config) options() oblivious.Options {
+	return oblivious.Options{
+		Optimizer: gpopt.Config{Iters: c.OptIters},
+		Eval:      c.evalConfig(),
+		AdvIters:  c.AdvIters,
+		Workers:   c.Workers,
+	}
 }
 
 // Default is the configuration used for the recorded results in

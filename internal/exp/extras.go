@@ -3,10 +3,10 @@ package exp
 import (
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
-	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/localsearch"
 	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 	"github.com/coyote-te/coyote/internal/topo"
 	"github.com/coyote-te/coyote/internal/wcmp"
@@ -28,7 +28,9 @@ func Fig9(cfg Config) (*Table, error) {
 		Title:   "Fig. 9 — Abilene, local-search heuristic, bimodal model",
 		Columns: []string{"margin", "ECMP", "COYOTE-pk"},
 	}
-	for _, margin := range cfg.Margins {
+	rows := make([][]string, len(cfg.Margins))
+	par.For(cfg.Workers, len(cfg.Margins), func(i int) {
+		margin := cfg.Margins[i]
 		box := demand.MarginBox(base, margin)
 		ls := localsearch.Optimize(g, box, localsearch.Config{
 			OuterIters: cfg.AdvIters, InnerMoves: 10 * g.NumEdges(), Seed: cfg.Seed,
@@ -36,16 +38,12 @@ func Fig9(cfg Config) (*Table, error) {
 		tuned := g.Clone()
 		tuned.SetWeights(ls.Weights)
 		dags := dagx.BuildAll(tuned, dagx.Augmented)
-		ev := oblivious.NewEvaluator(tuned, dags, box, oblivious.EvalConfig{
-			Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed,
-		})
+		ev := oblivious.NewEvaluator(tuned, dags, box, cfg.evalConfig())
 		ecmp := ev.Perf(oblivious.ECMPOnDAGs(tuned, dags))
-		_, rep := oblivious.OptimizeWithEvaluator(tuned, dags, ev, oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters},
-			AdvIters:  cfg.AdvIters,
-		})
-		out.AddRow(f1(margin), f2(ecmp.Ratio), f2(rep.Perf.Ratio))
-	}
+		_, rep := oblivious.OptimizeWithEvaluator(tuned, dags, ev, cfg.options())
+		rows[i] = []string{f1(margin), f2(ecmp.Ratio), f2(rep.Perf.Ratio)}
+	})
+	out.Rows = rows
 	return out, nil
 }
 
@@ -69,25 +67,30 @@ func Fig10(cfg Config, budgets []int) (*Table, error) {
 		Title:   "Fig. 10 — AS1755: splitting-ratio approximation via virtual next-hops",
 		Columns: []string{"margin", "ECMP", "COYOTE-ideal", "3 NHs", "5 NHs", "10 NHs"},
 	}
-	for _, margin := range cfg.Margins {
+	rows := make([][]string, len(cfg.Margins))
+	errs := make([]error, len(cfg.Margins))
+	par.For(cfg.Workers, len(cfg.Margins), func(i int) {
+		margin := cfg.Margins[i]
 		box := demand.MarginBox(base, margin)
-		ev := oblivious.NewEvaluator(g, dags, box, oblivious.EvalConfig{
-			Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed,
-		})
-		ideal, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters},
-			AdvIters:  cfg.AdvIters,
-		})
+		ev := oblivious.NewEvaluator(g, dags, box, cfg.evalConfig())
+		ideal, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, cfg.options())
 		row := []string{f1(margin), f2(ev.Perf(oblivious.ECMPOnDAGs(g, dags)).Ratio), f2(rep.Perf.Ratio)}
 		for _, k := range budgets {
 			q, err := wcmp.Apply(ideal, k)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			row = append(row, f2(ev.Perf(q.Routing).Ratio))
 		}
-		out.AddRow(row...)
+		rows[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -101,31 +104,37 @@ func Fig11(cfg Config, names []string) (*Table, error) {
 		Title:   "Fig. 11 — average path stretch vs ECMP (margin 2.5)",
 		Columns: []string{"network", "COYOTE-oblivious", "COYOTE-pk"},
 	}
-	margin := 2.5
-	for _, name := range names {
+	const margin = 2.5
+	rows := make([][]string, len(names))
+	errs := make([]error, len(names))
+	par.For(cfg.Workers, len(names), func(i int) {
+		name := names[i]
 		g, err := topo.Load(name)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		base, err := baseMatrix(g, "gravity", cfg.Seed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		dags := dagx.BuildAll(g, dagx.Augmented)
 		box := demand.MarginBox(base, margin)
-		evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed}
-		ev := oblivious.NewEvaluator(g, dags, box, evalCfg)
-		pk, _ := oblivious.OptimizeWithEvaluator(g, dags, ev, oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters}, AdvIters: cfg.AdvIters,
-		})
+		ev := oblivious.NewEvaluator(g, dags, box, cfg.evalConfig())
+		pk, _ := oblivious.OptimizeWithEvaluator(g, dags, ev, cfg.options())
 		oblBox := demand.ObliviousBox(g.NumNodes(), 1)
-		oblEv := oblivious.NewEvaluator(g, dags, oblBox, evalCfg)
-		obl, _ := oblivious.OptimizeWithEvaluator(g, dags, oblEv, oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters}, AdvIters: cfg.AdvIters,
-		})
+		oblEv := oblivious.NewEvaluator(g, dags, oblBox, cfg.evalConfig())
+		obl, _ := oblivious.OptimizeWithEvaluator(g, dags, oblEv, cfg.options())
 		ecmp := oblivious.ECMPOnDAGs(g, dags)
-		out.AddRow(name, f2(stretch(obl, ecmp)), f2(stretch(pk, ecmp)))
+		rows[i] = []string{name, f2(stretch(obl, ecmp)), f2(stretch(pk, ecmp))}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -171,18 +180,15 @@ func AblationDAG(topoName string, cfg Config) (*Table, error) {
 	}
 	augment := dagx.BuildAll(g, dagx.Augmented)
 	spOnly := dagx.BuildAll(g, dagx.ShortestPath)
-	for _, margin := range cfg.Margins {
+	rows := make([][]string, len(cfg.Margins))
+	par.For(cfg.Workers, len(cfg.Margins), func(i int) {
+		margin := cfg.Margins[i]
 		box := demand.MarginBox(base, margin)
-		evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed}
 		// Both variants are normalized within the augmented DAGs so the
 		// numbers are comparable.
-		ev := oblivious.NewEvaluator(g, augment, box, evalCfg)
-		_, repAug := oblivious.OptimizeWithEvaluator(g, augment, ev, oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters}, AdvIters: cfg.AdvIters,
-		})
-		spRouting, _ := oblivious.OptimizeWithEvaluator(g, spOnly, oblivious.NewEvaluator(g, spOnly, box, evalCfg), oblivious.Options{
-			Optimizer: gpopt.Config{Iters: cfg.OptIters}, AdvIters: cfg.AdvIters,
-		})
+		ev := oblivious.NewEvaluator(g, augment, box, cfg.evalConfig())
+		_, repAug := oblivious.OptimizeWithEvaluator(g, augment, ev, cfg.options())
+		spRouting, _ := oblivious.OptimizeWithEvaluator(g, spOnly, oblivious.NewEvaluator(g, spOnly, box, cfg.evalConfig()), cfg.options())
 		// Re-express the SP-only routing over the augmented DAG membership
 		// for apples-to-apples evaluation (zero ratios on extra edges; the
 		// augmented DAGs contain the shortest-path DAGs, so the ratio
@@ -191,7 +197,8 @@ func AblationDAG(topoName string, cfg Config) (*Table, error) {
 		for t := range spOnAug.Phi {
 			copy(spOnAug.Phi[t], spRouting.Phi[t])
 		}
-		out.AddRow(f1(margin), f2(repAug.Perf.Ratio), f2(ev.Perf(spOnAug).Ratio))
-	}
+		rows[i] = []string{f1(margin), f2(repAug.Perf.Ratio), f2(ev.Perf(spOnAug).Ratio)}
+	})
+	out.Rows = rows
 	return out, nil
 }

@@ -28,6 +28,7 @@ func Failover(topoName string, cfg Config) (*Table, error) {
 		Samples:  cfg.Samples,
 		Eps:      cfg.Eps,
 		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

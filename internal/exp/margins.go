@@ -4,14 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
-	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 	"github.com/coyote-te/coyote/internal/topo"
 )
@@ -61,46 +59,34 @@ func marginSweep(g *graph.Graph, dags []*dagx.DAG, base *demand.Matrix, cfg Conf
 		return nil, err
 	}
 
-	optCfg := gpopt.Config{Iters: cfg.OptIters}
-	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed}
-
 	// COYOTE-oblivious: optimized once, with no knowledge of the demands
 	// (uncertainty set = all matrices up to an arbitrary cap; the
 	// performance ratio is scale-invariant).
 	var coyoteObl *pdrouting.Routing
 	if cfg.Oblivious {
 		oblBox := demand.ObliviousBox(g.NumNodes(), math.Max(base.MaxEntry(), 1))
-		oblEv := oblivious.NewEvaluator(g, dags, oblBox, evalCfg)
-		coyoteObl, _ = oblivious.OptimizeWithEvaluator(g, dags, oblEv, oblivious.Options{
-			Optimizer: optCfg, Eval: evalCfg, AdvIters: cfg.AdvIters,
-		})
+		oblEv := oblivious.NewEvaluator(g, dags, oblBox, cfg.evalConfig())
+		coyoteObl, _ = oblivious.OptimizeWithEvaluator(g, dags, oblEv, cfg.options())
 	}
 
+	// Margins are independent data points: fan them across the worker
+	// pool, each writing its own row (every margin builds its own seeded
+	// evaluator, so rows are reproducible for any worker count).
 	rows := make([]SweepRow, len(cfg.Margins))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, margin := range cfg.Margins {
-		wg.Add(1)
-		go func(i int, margin float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			box := demand.MarginBox(base, margin)
-			ev := oblivious.NewEvaluator(g, dags, box, evalCfg)
-			row := SweepRow{Margin: margin}
-			row.ECMP = ev.Perf(ecmp).Ratio
-			row.Base = ev.Perf(baseRouting).Ratio
-			if coyoteObl != nil {
-				row.CoyoteOblivious = ev.Perf(coyoteObl).Ratio
-			}
-			_, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, oblivious.Options{
-				Optimizer: optCfg, Eval: evalCfg, AdvIters: cfg.AdvIters,
-			})
-			row.CoyotePartial = rep.Perf.Ratio
-			rows[i] = row
-		}(i, margin)
-	}
-	wg.Wait()
+	par.For(cfg.Workers, len(cfg.Margins), func(i int) {
+		margin := cfg.Margins[i]
+		box := demand.MarginBox(base, margin)
+		ev := oblivious.NewEvaluator(g, dags, box, cfg.evalConfig())
+		row := SweepRow{Margin: margin}
+		row.ECMP = ev.Perf(ecmp).Ratio
+		row.Base = ev.Perf(baseRouting).Ratio
+		if coyoteObl != nil {
+			row.CoyoteOblivious = ev.Perf(coyoteObl).Ratio
+		}
+		_, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, cfg.options())
+		row.CoyotePartial = rep.Perf.Ratio
+		rows[i] = row
+	})
 	return rows, nil
 }
 
@@ -166,16 +152,10 @@ func Table1(cfg Config, names []string) (*Table, error) {
 		err  error
 	}
 	results := make([]result, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			rows, err := MarginSweep(name, "gravity", cfg)
-			results[i] = result{name: name, rows: rows, err: err}
-		}(i, name)
-	}
-	wg.Wait()
+	par.For(cfg.Workers, len(names), func(i int) {
+		rows, err := MarginSweep(names[i], "gravity", cfg)
+		results[i] = result{name: names[i], rows: rows, err: err}
+	})
 	for _, res := range results {
 		if res.err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", res.name, res.err)

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Runner produces one experiment's table under a configuration.
@@ -53,11 +55,35 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given ID.
+// ErrUnknownID is returned (wrapped) by Run when asked for an experiment ID
+// that is not in the registry. Callers can detect it with errors.Is; the
+// wrapped message lists every valid ID.
+var ErrUnknownID = errors.New("unknown experiment ID")
+
+// Run executes the experiment with the given ID under cfg. The registered
+// IDs (see EXPERIMENTS.md for what each reproduces) are:
+//
+//	running        — Fig. 1 / Appendix B running example
+//	fig6           — Fig. 6: Geant, gravity model, PERF vs margin
+//	fig7           — Fig. 7: Digex, gravity model, PERF vs margin
+//	fig8           — Fig. 8: AS1755, bimodal model, PERF vs margin
+//	fig9           — Fig. 9: Abilene, local-search heuristic, margins 1–5
+//	fig10          — Fig. 10: virtual next-hop quantization on AS1755
+//	fig11          — Fig. 11: average path stretch vs ECMP
+//	fig12          — Fig. 12: §VII prototype emulation
+//	table1         — Table I: corpus × margin sweep, margins 1–5
+//	ablation-dag   — DAG-augmentation ablation (Geant)
+//	ablation-adv   — sampled vs exact slave-LP adversary (Abilene)
+//	failover       — per-link failure configurations (NSF)
+//	negative-np    — Theorem 1 NP-hardness gadget
+//	negative-path  — Theorem 4 path lower bound
+//
+// An unregistered ID yields an error wrapping ErrUnknownID that lists the
+// valid IDs.
 func Run(id string, cfg Config) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("exp: %w %q (valid IDs: %s)", ErrUnknownID, id, strings.Join(IDs(), ", "))
 	}
 	return r(cfg)
 }

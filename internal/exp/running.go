@@ -44,9 +44,7 @@ func RunningExample(cfg Config) (*Table, error) {
 	max.Set(s1, t, 2)
 	max.Set(s2, t, 2)
 	box := demand.NewBox(min, max)
-	ev := oblivious.NewEvaluator(g, dags, box, oblivious.EvalConfig{
-		Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed,
-	})
+	ev := oblivious.NewEvaluator(g, dags, box, cfg.evalConfig())
 
 	out := &Table{
 		Title:   "Running example (Fig. 1) — oblivious performance over demands [0,2]²",
@@ -90,6 +88,7 @@ func RunningExample(cfg Config) (*Table, error) {
 	_, rep := oblivious.OptimizeWithEvaluator(g, dags, ev, oblivious.Options{
 		Optimizer: gpopt.Config{Iters: cfg.OptIters * 4},
 		AdvIters:  cfg.AdvIters + 2,
+		Workers:   cfg.Workers,
 	})
 	out.AddRow("COYOTE optimizer", f2(rep.Perf.Ratio), "≤1.24")
 	return out, nil

@@ -9,14 +9,12 @@
 package failover
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
@@ -28,6 +26,7 @@ type Config struct {
 	Samples  int // adversary corner samples (default 4)
 	Eps      float64
 	Seed     int64
+	Workers  int // worker-pool size for scenarios and evaluation (≤ 0 = GOMAXPROCS); never changes results
 }
 
 func (c Config) withDefaults() Config {
@@ -73,11 +72,12 @@ type Plan struct {
 // Scenarios are computed in parallel.
 func Precompute(g *graph.Graph, box *demand.Box, cfg Config) (*Plan, error) {
 	cfg = cfg.withDefaults()
-	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed}
+	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers}
 	opts := oblivious.Options{
 		Optimizer: gpopt.Config{Iters: cfg.OptIters},
 		Eval:      evalCfg,
 		AdvIters:  cfg.AdvIters,
+		Workers:   cfg.Workers,
 	}
 
 	dags := dagx.BuildAll(g, dagx.Augmented)
@@ -87,18 +87,9 @@ func Precompute(g *graph.Graph, box *demand.Box, cfg Config) (*Plan, error) {
 
 	links := g.Links()
 	plan.Scenarios = make([]Scenario, len(links))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, link := range links {
-		wg.Add(1)
-		go func(i int, link graph.EdgeID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			plan.Scenarios[i] = computeScenario(g, box, link, opts, evalCfg)
-		}(i, link)
-	}
-	wg.Wait()
+	par.For(cfg.Workers, len(links), func(i int) {
+		plan.Scenarios[i] = computeScenario(g, box, links[i], opts, evalCfg)
+	})
 	return plan, nil
 }
 
@@ -162,25 +153,17 @@ type NodeScenario struct {
 // Disconnected.
 func PrecomputeNodes(g *graph.Graph, box *demand.Box, cfg Config) ([]NodeScenario, error) {
 	cfg = cfg.withDefaults()
-	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed}
+	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers}
 	opts := oblivious.Options{
 		Optimizer: gpopt.Config{Iters: cfg.OptIters},
 		Eval:      evalCfg,
 		AdvIters:  cfg.AdvIters,
+		Workers:   cfg.Workers,
 	}
 	out := make([]NodeScenario, g.NumNodes())
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for v := 0; v < g.NumNodes(); v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[v] = computeNodeScenario(g, box, graph.NodeID(v), opts, evalCfg)
-		}(v)
-	}
-	wg.Wait()
+	par.For(cfg.Workers, g.NumNodes(), func(v int) {
+		out[v] = computeNodeScenario(g, box, graph.NodeID(v), opts, evalCfg)
+	})
 	return out, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/geom"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
@@ -55,6 +56,7 @@ type Config struct {
 	TauStart  float64 // initial smooth-max temperature (default 0.25)
 	TauEnd    float64 // final temperature (default 0.02)
 	InitSPLog float64 // log-ratio head start of shortest-path edges over augmented ones (default 2)
+	Workers   int     // worker-pool size for the per-(scenario, destination) passes (≤ 0 = GOMAXPROCS); never changes results
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +81,12 @@ func (c Config) withDefaults() Config {
 // Optimizer carries the log-space parameters θ (one per destination and DAG
 // edge) and Adam state, allowing warm-started re-optimization as the
 // adversarial scenario set grows.
+//
+// Each gradient step fans its per-(scenario, destination) forward and
+// backward flow propagations, and its per-destination softmax/Adam
+// updates, across a worker pool of Config.Workers goroutines (DESIGN.md
+// §4). All cross-leaf floating-point reductions happen serially in a fixed
+// order, so a Run's result is bit-identical for any worker count.
 type Optimizer struct {
 	g    *graph.Graph
 	dags []*dagx.DAG
@@ -90,6 +98,8 @@ type Optimizer struct {
 
 	// outsOf[t][u] caches DAG out-edge lists.
 	outsOf [][][]graph.EdgeID
+
+	nodeBuf *par.Pool // pooled per-node scratch (inflow / gradient buffers)
 }
 
 // New creates an optimizer over the given DAGs. Initial ratios approximate
@@ -99,7 +109,7 @@ type Optimizer struct {
 // falls below).
 func New(g *graph.Graph, dags []*dagx.DAG, cfg Config) *Optimizer {
 	cfg = cfg.withDefaults()
-	o := &Optimizer{g: g, dags: dags, cfg: cfg}
+	o := &Optimizer{g: g, dags: dags, cfg: cfg, nodeBuf: par.NewPool(g.NumNodes())}
 	n := g.NumNodes()
 	o.theta = make([][]float64, n)
 	o.m = make([][]float64, n)
@@ -124,34 +134,57 @@ func New(g *graph.Graph, dags []*dagx.DAG, cfg Config) *Optimizer {
 }
 
 // Routing materializes the current parameters as a PD routing
-// (φ = softmax(θ) over each node's DAG out-edges).
+// (φ = softmax(θ) over each node's DAG out-edges). Destinations are
+// materialized in parallel; each writes only its own Phi row.
 func (o *Optimizer) Routing() *pdrouting.Routing {
 	r := pdrouting.NewZero(o.g, o.dags)
 	n := o.g.NumNodes()
-	for t := 0; t < n; t++ {
-		for u := 0; u < n; u++ {
-			out := o.outsOf[t][u]
-			if len(out) == 0 || graph.NodeID(u) == graph.NodeID(t) {
-				continue
-			}
-			logits := make([]float64, len(out))
-			for i, id := range out {
-				logits[i] = o.theta[t][id]
-			}
-			probs := geom.Softmax(logits, nil)
-			for i, id := range out {
-				r.Phi[t][id] = probs[i]
-			}
-		}
-	}
+	par.For(o.cfg.Workers, n, func(t int) {
+		o.materialize(t, r.Phi[t])
+	})
 	return r
 }
 
+// materialize writes φ = softmax(θ) for destination t into phiT.
+func (o *Optimizer) materialize(t int, phiT []float64) {
+	n := o.g.NumNodes()
+	var logits, probs []float64
+	for u := 0; u < n; u++ {
+		out := o.outsOf[t][u]
+		if len(out) == 0 || u == t {
+			continue
+		}
+		if cap(logits) < len(out) {
+			logits = make([]float64, len(out))
+			probs = make([]float64, len(out))
+		}
+		logits = logits[:len(out)]
+		probs = probs[:len(out)]
+		for i, id := range out {
+			logits[i] = o.theta[t][id]
+		}
+		geom.Softmax(logits, probs)
+		for i, id := range out {
+			phiT[id] = probs[i]
+		}
+	}
+}
+
 // Objective evaluates the true (unsmoothed) worst normalized utilization of
-// routing r over the scenarios.
+// routing r over the scenarios. Scenarios are evaluated in parallel (one
+// worker per CPU); the per-scenario accumulation stays serial in
+// destination order and the final max-reduction is exact, so the value is
+// worker-count-independent.
 func Objective(r *pdrouting.Routing, scenarios []Scenario) float64 {
-	worst := 0.0
-	for _, sc := range scenarios {
+	return objective(r, scenarios, 0)
+}
+
+// objective is Objective bounded to the given worker count, so Run honors
+// Config.Workers end to end.
+func objective(r *pdrouting.Routing, scenarios []Scenario, workers int) float64 {
+	perScenario := make([]float64, len(scenarios))
+	par.For(workers, len(scenarios), func(si int) {
+		sc := scenarios[si]
 		loads := make([]float64, r.G.NumEdges())
 		for t, col := range sc.Cols {
 			if col == nil {
@@ -162,11 +195,19 @@ func Objective(r *pdrouting.Routing, scenarios []Scenario) float64 {
 				loads[e] += lt[e]
 			}
 		}
+		worst := 0.0
 		for e := range loads {
 			u := loads[e] / (r.G.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
 			if u > worst {
 				worst = u
 			}
+		}
+		perScenario[si] = worst
+	})
+	worst := 0.0
+	for _, v := range perScenario {
+		if v > worst {
+			worst = v
 		}
 	}
 	return worst
@@ -175,6 +216,12 @@ func Objective(r *pdrouting.Routing, scenarios []Scenario) float64 {
 // Run performs cfg.Iters Adam steps against the given scenario set and
 // returns the final true objective (worst normalized utilization). It may
 // be called repeatedly; parameters and Adam state persist across calls.
+//
+// Within every step the per-(scenario, destination) forward passes, the
+// per-destination backward passes, and the per-destination Adam updates
+// each fan out across the worker pool; the per-scenario load totals and the
+// smooth-max weights are reduced serially in a fixed order, so the result
+// is bit-identical for any Config.Workers.
 func (o *Optimizer) Run(scenarios []Scenario) float64 {
 	cfg := o.cfg
 	nE := o.g.NumEdges()
@@ -188,88 +235,101 @@ func (o *Optimizer) Run(scenarios []Scenario) float64 {
 		grad[t] = make([]float64, nE)
 		gradT[t] = make([]float64, nE)
 	}
-	inflow := make([]float64, n)
-	gIn := make([]float64, n)
 
-	type destLoad struct {
-		si, t int
-		loads []float64
+	// The work units of one gradient step: every (scenario, destination)
+	// pair with demand, in a fixed order. byDest groups the task indices
+	// per destination so the backward pass can accumulate into grad[t]
+	// race-free (one goroutine per destination) yet in scenario order.
+	type task struct{ si, t int }
+	var tasks []task
+	byDest := make([][]int, n)
+	for si, sc := range scenarios {
+		for t := 0; t < n; t++ {
+			if sc.Cols[t] == nil {
+				continue
+			}
+			byDest[t] = append(byDest[t], len(tasks))
+			tasks = append(tasks, task{si: si, t: t})
+		}
+	}
+	if len(tasks) == 0 {
+		return 0
+	}
+	taskLoads := make([][]float64, len(tasks))
+	for i := range taskLoads {
+		taskLoads[i] = make([]float64, nE)
 	}
 
 	for it := 0; it < cfg.Iters; it++ {
 		frac := float64(it) / float64(max(cfg.Iters-1, 1))
 		tau := cfg.TauStart * math.Pow(cfg.TauEnd/cfg.TauStart, frac)
 
-		// Materialize φ = softmax(θ).
-		for t := 0; t < n; t++ {
-			for u := 0; u < n; u++ {
-				out := o.outsOf[t][u]
-				if len(out) == 0 {
-					continue
-				}
-				logits := make([]float64, len(out))
-				for i, id := range out {
-					logits[i] = o.theta[t][id]
-				}
-				probs := geom.Softmax(logits, nil)
-				for i, id := range out {
-					phi[t][id] = probs[i]
-				}
-			}
+		// Materialize φ = softmax(θ) and clear gradients, per destination.
+		par.For(cfg.Workers, n, func(t int) {
+			o.materialize(t, phi[t])
 			for e := range grad[t] {
 				grad[t][e] = 0
 				gradT[t][e] = 0
 			}
-		}
+		})
 
-		// Forward: per (scenario, destination) loads; total per-scenario
-		// utilizations.
-		var perDest []destLoad
+		// Forward: per-(scenario, destination) propagations in parallel...
+		par.For(cfg.Workers, len(tasks), func(i int) {
+			tk := tasks[i]
+			inflow := o.nodeBuf.Get()
+			o.forwardInto(tk.t, scenarios[tk.si].Cols[tk.t], phi[tk.t], taskLoads[i], inflow)
+			o.nodeBuf.Put(inflow)
+		})
+		// ...then per-scenario totals and utilizations reduced serially in
+		// task order.
 		utils := make([]float64, 0, len(scenarios)*nE)
 		utilIdx := make([][]int, len(scenarios)) // scenario → index of edge e in utils
 		scLoads := make([][]float64, len(scenarios))
-		for si, sc := range scenarios {
-			total := make([]float64, nE)
-			for t := 0; t < n; t++ {
-				col := sc.Cols[t]
-				if col == nil {
-					continue
-				}
-				loads := o.forward(t, col, phi[t], inflow)
-				perDest = append(perDest, destLoad{si: si, t: t, loads: loads})
-				for e := 0; e < nE; e++ {
-					total[e] += loads[e]
-				}
+		for si := range scenarios {
+			scLoads[si] = make([]float64, nE)
+		}
+		for i, tk := range tasks {
+			total := scLoads[tk.si]
+			for e := 0; e < nE; e++ {
+				total[e] += taskLoads[i][e]
 			}
-			scLoads[si] = total
+		}
+		for si, sc := range scenarios {
 			utilIdx[si] = make([]int, nE)
 			for e := 0; e < nE; e++ {
 				utilIdx[si][e] = len(utils)
-				utils = append(utils, total[e]/(o.g.Edge(graph.EdgeID(e)).Capacity*sc.Norm))
+				utils = append(utils, scLoads[si][e]/(o.g.Edge(graph.EdgeID(e)).Capacity*sc.Norm))
 			}
-		}
-		if len(utils) == 0 {
-			return 0
 		}
 
 		// Smooth-max gradient: w_i = exp(u_i/τ)/Σ.
 		w := softmaxScaled(utils, tau)
 
-		// Backward per (scenario, destination).
-		for _, dl := range perDest {
-			sc := scenarios[dl.si]
-			col := sc.Cols[dl.t]
-			o.backward(dl.t, col, phi[dl.t], dl.loads, inflow, gIn, func(e int) float64 {
-				return w[utilIdx[dl.si][e]] / (o.g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
-			}, grad[dl.t])
-		}
+		// Backward: one goroutine per destination, scenarios in order.
+		par.For(cfg.Workers, n, func(t int) {
+			if len(byDest[t]) == 0 {
+				return
+			}
+			inflow := o.nodeBuf.Get()
+			gIn := o.nodeBuf.Get()
+			for _, ti := range byDest[t] {
+				si := tasks[ti].si
+				sc := scenarios[si]
+				o.backward(t, sc.Cols[t], phi[t], inflow, gIn, func(e int) float64 {
+					return w[utilIdx[si][e]] / (o.g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
+				}, grad[t])
+			}
+			o.nodeBuf.Put(inflow)
+			o.nodeBuf.Put(gIn)
+		})
 
-		// φ-gradient → θ-gradient through the softmax Jacobian, then Adam.
+		// φ-gradient → θ-gradient through the softmax Jacobian, then Adam;
+		// destinations own disjoint parameter rows.
 		o.step++
 		beta1, beta2 := 0.9, 0.999
 		bc1 := 1 - math.Pow(beta1, float64(o.step))
 		bc2 := 1 - math.Pow(beta2, float64(o.step))
-		for t := 0; t < n; t++ {
+		par.For(cfg.Workers, n, func(t int) {
 			for u := 0; u < n; u++ {
 				out := o.outsOf[t][u]
 				if len(out) < 2 {
@@ -291,25 +351,25 @@ func (o *Optimizer) Run(scenarios []Scenario) float64 {
 					o.theta[t][id] -= cfg.LR * mhat / (math.Sqrt(vhat) + 1e-12)
 				}
 			}
-		}
+		})
 	}
-	return Objective(o.Routing(), scenarios)
+	return objective(o.Routing(), scenarios, cfg.Workers)
 }
 
-// forward propagates col toward destination t with ratios phiT, returning
-// the per-edge loads. The caller-provided inflow buffer is reused.
-func (o *Optimizer) forward(t int, col []float64, phiT []float64, inflow []float64) []float64 {
+// forwardInto propagates col toward destination t with ratios phiT, writing
+// the per-edge loads into loads (fully overwritten). The caller-provided
+// inflow scratch must be zeroed on entry.
+func (o *Optimizer) forwardInto(t int, col []float64, phiT, loads, inflow []float64) {
 	g := o.g
 	d := o.dags[t]
-	for i := range inflow {
-		inflow[i] = 0
+	for i := range loads {
+		loads[i] = 0
 	}
 	for v, dem := range col {
 		if v != t {
 			inflow[v] = dem
 		}
 	}
-	loads := make([]float64, g.NumEdges())
 	for _, u := range d.Order {
 		if int(u) == t || inflow[u] == 0 {
 			continue
@@ -320,13 +380,13 @@ func (o *Optimizer) forward(t int, col []float64, phiT []float64, inflow []float
 			inflow[g.Edge(id).To] += f
 		}
 	}
-	return loads
 }
 
 // backward accumulates dLoss/dφ into gPhi given upstream per-edge load
 // gradients gLoad(e). It re-runs the forward recurrence to recover inflows,
-// then walks the DAG in reverse topological order.
-func (o *Optimizer) backward(t int, col []float64, phiT, loads, inflow, gIn []float64, gLoad func(e int) float64, gPhi []float64) {
+// then walks the DAG in reverse topological order. The caller-provided
+// inflow and gIn scratch buffers are overwritten.
+func (o *Optimizer) backward(t int, col []float64, phiT, inflow, gIn []float64, gLoad func(e int) float64, gPhi []float64) {
 	g := o.g
 	d := o.dags[t]
 	for i := range inflow {

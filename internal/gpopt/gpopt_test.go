@@ -225,7 +225,11 @@ func TestPropertyGradientCheck(t *testing.T) {
 			if sc.Cols[tt] == nil {
 				continue
 			}
-			loads := o.forward(tt, sc.Cols[tt], phi[tt], inflow)
+			loads := make([]float64, g.NumEdges())
+			for i := range inflow {
+				inflow[i] = 0
+			}
+			o.forwardInto(tt, sc.Cols[tt], phi[tt], loads, inflow)
 			dls = append(dls, dl{tt, loads})
 			for e := range totalLoads {
 				totalLoads[e] += loads[e]
@@ -238,7 +242,7 @@ func TestPropertyGradientCheck(t *testing.T) {
 		}
 		w := softmaxScaled(utils, tau)
 		for _, d := range dls {
-			o.backward(d.t, sc.Cols[d.t], phi[d.t], d.loads, inflow, gIn, func(e int) float64 {
+			o.backward(d.t, sc.Cols[d.t], phi[d.t], inflow, gIn, func(e int) float64 {
 				return w[idx[e]] / (g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
 			}, grad[d.t])
 		}

@@ -16,11 +16,26 @@ type Options struct {
 	Optimizer gpopt.Config // inner GP-style optimizer settings
 	Eval      EvalConfig   // adversary settings
 	AdvIters  int          // outer adversarial iterations (default 6)
+	// Workers seeds Optimizer.Workers and Eval.Workers when they are
+	// unset (≤ 0 = GOMAXPROCS; never changes results). Note that
+	// OptimizeWithEvaluator's adversary is the caller-supplied evaluator,
+	// which keeps its own EvalConfig.Workers — there the optimizer
+	// inherits the evaluator's worker count instead, so one knob (set at
+	// NewEvaluator) still governs the whole loop.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.AdvIters <= 0 {
 		o.AdvIters = 6
+	}
+	if o.Workers > 0 {
+		if o.Eval.Workers == 0 {
+			o.Eval.Workers = o.Workers
+		}
+		if o.Optimizer.Workers == 0 {
+			o.Optimizer.Workers = o.Workers
+		}
 	}
 	return o
 }
@@ -59,6 +74,12 @@ func OptimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts Options) (*pdrouting.Routing, *Report) {
 	n := g.NumNodes()
 	report := &Report{}
+	// The optimizer inherits the evaluator's worker pool size unless the
+	// caller configured one explicitly, so a single Workers knob controls
+	// the whole adversarial loop.
+	if opts.Optimizer.Workers == 0 {
+		opts.Optimizer.Workers = ev.cfg.Workers
+	}
 
 	var scenarios []gpopt.Scenario
 	seen := make(map[uint64]bool)

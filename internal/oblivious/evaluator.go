@@ -14,21 +14,31 @@
 // then normalized by OPTDAG via the mcf solvers. Single-pair demand
 // matrices (the adversaries behind Theorem 4) are additionally screened in
 // closed form through DAG-restricted max-flow.
+//
+// The evaluator is concurrent end-to-end (DESIGN.md §4): coefficient
+// extraction, the single-pair screen, corner-adversary sampling, candidate
+// normalization, and per-destination DAG flow propagation all fan out
+// across a worker pool sized by EvalConfig.Workers, with flow buffers
+// recycled through sync.Pool. Every parallel stage writes index-addressed
+// slots and reduces serially in index order, and corner sampling derives
+// each corner from (Seed, call sequence, sample index) rather than from a
+// shared RNG stream, so results for a fixed Seed are bit-identical for any
+// worker count.
 package oblivious
 
 import (
 	"hash/fnv"
 	"math"
-	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/maxflow"
 	"github.com/coyote-te/coyote/internal/mcf"
+	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
@@ -36,8 +46,9 @@ import (
 type EvalConfig struct {
 	Eps            float64 // FPTAS accuracy for OPTDAG on large instances (default 0.1)
 	Samples        int     // random box corners per evaluation (default 8)
-	Seed           int64   // RNG seed for corner sampling
+	Seed           int64   // seed for corner sampling
 	ExactNodeLimit int     // use the exact LP for OPTDAG when NumNodes ≤ this (default 18)
+	Workers        int     // worker-pool size (≤ 0 = GOMAXPROCS); never changes results
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -57,7 +68,9 @@ func (c EvalConfig) withDefaults() EvalConfig {
 // uncertainty set and fixed per-destination DAGs. It caches OPTDAG values
 // (which depend only on the demand matrix and DAGs, not the routing) and
 // per-pair DAG max-flows, so repeated evaluations inside the adversarial
-// loop are cheap. Evaluator is safe for concurrent use.
+// loop are cheap. Evaluator is safe for concurrent use; a serialized
+// sequence of calls is reproducible for a fixed Seed regardless of
+// EvalConfig.Workers.
 type Evaluator struct {
 	G    *graph.Graph
 	DAGs []*dagx.DAG
@@ -67,7 +80,10 @@ type Evaluator struct {
 	mu       sync.Mutex
 	optCache map[uint64]float64
 	mfCache  map[[2]graph.NodeID]float64
-	rng      *rand.Rand
+
+	seq     atomic.Uint64 // PerfTop call sequence; varies corner samples across calls
+	edgeBuf *par.Pool     // pooled per-edge flow buffers (len NumEdges)
+	nodeBuf *par.Pool     // pooled per-node inflow buffers (len NumNodes)
 }
 
 // NewEvaluator builds an evaluator for the given DAGs and uncertainty box.
@@ -80,7 +96,8 @@ func NewEvaluator(g *graph.Graph, dags []*dagx.DAG, box *demand.Box, cfg EvalCon
 		cfg:      cfg,
 		optCache: make(map[uint64]float64),
 		mfCache:  make(map[[2]graph.NodeID]float64),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		edgeBuf:  par.NewPool(g.NumEdges()),
+		nodeBuf:  par.NewPool(g.NumNodes()),
 	}
 }
 
@@ -134,6 +151,13 @@ func (ev *Evaluator) pairMaxFlow(s, t graph.NodeID) float64 {
 	return v
 }
 
+// MaxUtilization is MxLU(r, D) computed with the per-destination DAG flow
+// propagation fanned across the evaluator's worker pool and its pooled
+// flow buffers; bit-identical to r.MaxUtilization for any worker count.
+func (ev *Evaluator) MaxUtilization(r *pdrouting.Routing, D *demand.Matrix) float64 {
+	return r.ParallelMaxUtilization(D, ev.cfg.Workers, ev.edgeBuf, ev.nodeBuf)
+}
+
 // Result reports a worst-case evaluation.
 type Result struct {
 	Ratio   float64        // PERF estimate: max over adversarial DMs of MxLU/OPTDAG
@@ -158,22 +182,25 @@ func (ev *Evaluator) Perf(r *pdrouting.Routing) Result {
 func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 	n := ev.G.NumNodes()
 	nE := ev.G.NumEdges()
+	workers := ev.cfg.Workers
+	seq := ev.seq.Add(1)
 
-	// Load coefficients: coeff[t][s][e].
+	// Load coefficients coeff[t][s][e], one independent propagation per
+	// destination.
 	coeff := make([][][]float64, n)
-	for t := 0; t < n; t++ {
+	par.For(workers, n, func(t int) {
 		coeff[t] = r.LoadCoeffs(graph.NodeID(t))
-	}
-
-	var singles []Result
+	})
 
 	// Single-pair adversary, exact and closed-form: for demand d on (s,t),
 	// MxLU = d·max_e coeff[t][s][e]/c_e and OPTDAG = d/maxflow(s,t), so the
 	// ratio is maxflow(s,t)·max_e coeff/c — independent of d. Single-pair
 	// matrices belong to the box only when its lower bounds are all zero
 	// (the oblivious sets); skip them otherwise.
+	var singles []Result
 	if ev.Box.Min.Total() == 0 {
-		for s := 0; s < n; s++ {
+		perSource := make([][]Result, n)
+		par.For(workers, n, func(s int) {
 			for t := 0; t < n; t++ {
 				if s == t || ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t)) <= 0 {
 					continue
@@ -190,27 +217,49 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 					continue
 				}
 				d := ev.Box.Max.At(graph.NodeID(s), graph.NodeID(t))
-				singles = append(singles, Result{
+				perSource[s] = append(perSource[s], Result{
 					Ratio:   peak * mf,
 					WorstDM: demand.SinglePair(n, graph.NodeID(s), graph.NodeID(t), d),
 					MxLU:    peak * d,
 					Norm:    d / mf,
 				})
 			}
+		})
+		for _, rs := range perSource {
+			singles = append(singles, rs...)
 		}
 		// Keep the strongest few; they are candidates for the top-k set.
-		sort.Slice(singles, func(i, j int) bool { return singles[i].Ratio > singles[j].Ratio })
+		sort.SliceStable(singles, func(i, j int) bool { return singles[i].Ratio > singles[j].Ratio })
 		if len(singles) > 8 {
 			singles = singles[:8]
 		}
 	}
 
-	// Corner candidates.
-	candidates := make([]*demand.Matrix, 0, nE+ev.cfg.Samples+2)
+	// Corner candidates: the box maximum, the geometric midpoint (≈ the
+	// base matrix of a margin box), one corner per link maximizing that
+	// link's load, and the random corners. Corners are generated into
+	// index-addressed slots in parallel, then deduplicated serially in a
+	// fixed order.
+	corners := make([]*demand.Matrix, 2+nE+ev.cfg.Samples)
+	corners[0] = ev.Box.Max.Clone()
+	mid := demand.NewMatrix(n)
+	for i := range mid.D {
+		mid.D[i] = math.Sqrt(ev.Box.Min.D[i] * ev.Box.Max.D[i])
+	}
+	corners[1] = mid
+	par.For(workers, nE, func(e int) {
+		corners[2+e] = ev.Box.Corner(func(s, t graph.NodeID) bool {
+			return coeff[t][s][e] > 1e-12
+		})
+	})
+	par.For(workers, ev.cfg.Samples, func(i int) {
+		corners[2+nE+i] = ev.randomCorner(seq, i)
+	})
+	candidates := make([]*demand.Matrix, 0, len(corners))
 	seen := make(map[uint64]bool)
-	add := func(D *demand.Matrix) {
+	for _, D := range corners {
 		if D.Total() <= 0 {
-			return
+			continue
 		}
 		h := hashMatrix(D)
 		if !seen[h] {
@@ -218,53 +267,27 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 			candidates = append(candidates, D)
 		}
 	}
-	add(ev.Box.Max.Clone())
-	// Geometric midpoint ≈ the base matrix of a margin box.
-	mid := demand.NewMatrix(n)
-	for i := range mid.D {
-		mid.D[i] = math.Sqrt(ev.Box.Min.D[i] * ev.Box.Max.D[i])
-	}
-	add(mid)
-	// Per-link corners: maximize the load of each link independently.
-	for e := 0; e < nE; e++ {
-		D := ev.Box.Corner(func(s, t graph.NodeID) bool {
-			return coeff[t][s][e] > 1e-12
-		})
-		add(D)
-	}
-	ev.mu.Lock()
-	for i := 0; i < ev.cfg.Samples; i++ {
-		corner := ev.Box.RandomCorner(ev.rng)
-		ev.mu.Unlock()
-		add(corner)
-		ev.mu.Lock()
-	}
-	ev.mu.Unlock()
 
-	// Evaluate candidates in parallel.
+	// Normalize and evaluate candidates in parallel.
 	type cand struct {
 		ratio, mxlu, norm float64
 		D                 *demand.Matrix
 	}
 	results := make([]cand, len(candidates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, D := range candidates {
-		wg.Add(1)
-		go func(i int, D *demand.Matrix) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			norm := ev.OptDAG(D)
-			if norm <= 0 || math.IsInf(norm, 1) {
-				results[i] = cand{ratio: math.Inf(-1)}
-				return
-			}
-			mxlu := r.MaxUtilization(D)
-			results[i] = cand{ratio: mxlu / norm, mxlu: mxlu, norm: norm, D: D}
-		}(i, D)
-	}
-	wg.Wait()
+	par.For(workers, len(candidates), func(i int) {
+		D := candidates[i]
+		norm := ev.OptDAG(D)
+		if norm <= 0 || math.IsInf(norm, 1) {
+			results[i] = cand{ratio: math.Inf(-1)}
+			return
+		}
+		// The candidate fan-out already saturates the pool; a full-width
+		// inner fan-out here would square the goroutine count for no
+		// throughput. The serial propagation still reuses pooled buffers
+		// and is bit-identical at any width.
+		mxlu := r.ParallelMaxUtilization(D, 1, ev.edgeBuf, ev.nodeBuf)
+		results[i] = cand{ratio: mxlu / norm, mxlu: mxlu, norm: norm, D: D}
+	})
 	all := make([]Result, 0, len(results)+len(singles))
 	all = append(all, singles...)
 	for _, c := range results {
@@ -275,7 +298,7 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 	if len(all) == 0 {
 		return []Result{{Ratio: math.Inf(-1)}}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Ratio > all[j].Ratio })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Ratio > all[j].Ratio })
 	if k < 1 {
 		k = 1
 	}
@@ -283,6 +306,37 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 		all = all[:k]
 	}
 	return all
+}
+
+// randomCorner materializes the sample-th random box corner of the seq-th
+// PerfTop call. Corner bits come from a counter-mode splitmix64 stream
+// keyed on (Seed, seq, sample), so every (call, sample) pair sees an
+// independent corner and the choice is independent of which worker runs it.
+func (ev *Evaluator) randomCorner(seq uint64, sample int) *demand.Matrix {
+	state := splitmix64(uint64(ev.cfg.Seed)) ^ splitmix64(seq<<20^uint64(sample))
+	var word uint64
+	bits := 0
+	ctr := uint64(0)
+	return ev.Box.Corner(func(s, t graph.NodeID) bool {
+		if bits == 0 {
+			ctr++
+			word = splitmix64(state + ctr)
+			bits = 64
+		}
+		b := word&1 == 1
+		word >>= 1
+		bits--
+		return b
+	})
+}
+
+// splitmix64 is the SplitMix64 finalizer — a fast, well-mixed hash used as
+// a counter-mode PRNG for deterministic corner sampling.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // hashMatrix fingerprints a demand matrix for caching.

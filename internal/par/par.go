@@ -1,0 +1,118 @@
+// Package par provides the deterministic worker-pool primitives behind the
+// concurrent evaluation engine (DESIGN.md §4): a bounded parallel for-loop
+// whose results are reproducible for any worker count, and a sync.Pool of
+// fixed-length float64 scratch slices for reusing flow buffers across
+// workers.
+//
+// The determinism contract is structural, not accidental: For runs
+// independent leaf computations addressed by index, and callers perform any
+// floating-point reduction serially in index order after For returns.
+// Because no leaf reads another leaf's output and the reduction order is
+// fixed, the results are bit-identical whether the loop ran on one
+// goroutine or sixteen.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers configuration value to an effective worker count:
+// positive values pass through, anything else means "one worker per
+// available CPU" (GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For invokes fn(i) exactly once for every i in [0, n), using at most
+// Resolve(workers) goroutines. Leaves are handed out in contiguous chunks
+// to amortize scheduling overhead on fine-grained loops. With one worker
+// (or n ≤ 1) fn runs inline on the calling goroutine in index order.
+//
+// fn must treat distinct indices as independent: write results only into
+// the slot for i, never read a sibling's slot, and take any shared scratch
+// through a Pool. Under that contract the observable results do not depend
+// on the worker count.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked work-stealing: each worker grabs a span of indices at a
+	// time, so loops with tiny leaf bodies (the optimizer's per-iteration
+	// passes) don't pay one atomic op per leaf.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Pool recycles float64 scratch slices of a fixed length. It exists so the
+// evaluator's and optimizer's per-destination flow buffers are reused
+// across worker goroutines instead of reallocated per leaf.
+type Pool struct {
+	size int
+	pool sync.Pool
+}
+
+// NewPool returns a pool of slices of the given length.
+func NewPool(size int) *Pool {
+	p := &Pool{size: size}
+	p.pool.New = func() any {
+		s := make([]float64, size)
+		return &s
+	}
+	return p
+}
+
+// Get returns a zeroed slice of the pool's length.
+func (p *Pool) Get() []float64 {
+	s := *p.pool.Get().(*[]float64)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Put returns a slice obtained from Get to the pool.
+func (p *Pool) Put(s []float64) {
+	if len(s) != p.size {
+		panic("par: returning slice of wrong length to Pool")
+	}
+	p.pool.Put(&s)
+}

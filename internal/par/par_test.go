@@ -1,0 +1,98 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Resolve(0); got != want {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Resolve(-5); got != want {
+		t.Errorf("Resolve(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			counts := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForInlineOrderWithOneWorker(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v, want ascending", order)
+		}
+	}
+}
+
+// TestForDeterministicReduction exercises the determinism contract: leaves
+// write index-addressed slots, the caller reduces in index order, and the
+// result must be bit-identical for every worker count.
+func TestForDeterministicReduction(t *testing.T) {
+	n := 500
+	reduce := func(workers int) float64 {
+		slots := make([]float64, n)
+		For(workers, n, func(i int) {
+			x := float64(i)
+			slots[i] = (x*1.000001 + 0.3) / (x + 7)
+		})
+		sum := 0.0
+		for _, v := range slots {
+			sum += v
+		}
+		return sum
+	}
+	want := reduce(1)
+	for _, w := range []int{2, 3, 8, 33} {
+		if got := reduce(w); got != want {
+			t.Errorf("workers=%d: sum %v != serial %v", w, got, want)
+		}
+	}
+}
+
+func TestPoolZeroesOnGet(t *testing.T) {
+	p := NewPool(4)
+	s := p.Get()
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = 42
+	}
+	p.Put(s)
+	s2 := p.Get()
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused slice not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPoolRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of wrong-length slice should panic")
+		}
+	}()
+	NewPool(4).Put(make([]float64, 3))
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/par"
 )
 
 // ratioTol is the tolerance for splitting-ratio normalization checks.
@@ -135,15 +136,23 @@ func (r *Routing) Validate() error {
 // and returns the absolute flow placed on every edge. demandCol[v] is the
 // demand from v to t; the destination's own entry is ignored.
 func (r *Routing) DestLoads(t graph.NodeID, demandCol []float64) []float64 {
+	return r.DestLoadsInto(t, demandCol,
+		make([]float64, r.G.NumEdges()), make([]float64, r.G.NumNodes()))
+}
+
+// DestLoadsInto is DestLoads with caller-provided scratch, letting hot
+// callers (the concurrent evaluator) recycle flow buffers through a pool
+// instead of allocating per propagation. loads (len NumEdges) receives the
+// result and is returned; inflow (len NumNodes) is overwritten scratch.
+// Both must be zeroed on entry.
+func (r *Routing) DestLoadsInto(t graph.NodeID, demandCol, loads, inflow []float64) []float64 {
 	d := r.DAGs[t]
 	phi := r.Phi[t]
-	inflow := make([]float64, r.G.NumNodes())
 	for v, dem := range demandCol {
 		if graph.NodeID(v) != t {
 			inflow[v] = dem
 		}
 	}
-	loads := make([]float64, r.G.NumEdges())
 	for _, u := range d.Order {
 		if u == t || inflow[u] == 0 {
 			continue
@@ -191,6 +200,54 @@ func (r *Routing) MaxUtilization(D *demand.Matrix) float64 {
 	for e, l := range loads {
 		u := l / r.G.Edge(graph.EdgeID(e)).Capacity
 		if u > mx {
+			mx = u
+		}
+	}
+	return mx
+}
+
+// ParallelMaxUtilization is MaxUtilization with the per-destination
+// propagations fanned across a worker pool and flow buffers recycled
+// through the given pools (edgeBuf sized NumEdges, nodeBuf sized NumNodes).
+// Per-destination load vectors land in index-addressed slots and are
+// summed serially in destination order before the max, so the value is
+// bit-identical to MaxUtilization for any worker count.
+func (r *Routing) ParallelMaxUtilization(D *demand.Matrix, workers int, edgeBuf, nodeBuf *par.Pool) float64 {
+	n := r.G.NumNodes()
+	perDest := make([][]float64, n)
+	par.For(workers, n, func(t int) {
+		col := D.ToDestination(graph.NodeID(t))
+		active := false
+		for _, v := range col {
+			if v > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			return
+		}
+		loads := edgeBuf.Get()
+		inflow := nodeBuf.Get()
+		r.DestLoadsInto(graph.NodeID(t), col, loads, inflow)
+		nodeBuf.Put(inflow)
+		perDest[t] = loads
+	})
+	total := edgeBuf.Get()
+	defer edgeBuf.Put(total)
+	for t := 0; t < n; t++ {
+		lt := perDest[t]
+		if lt == nil {
+			continue
+		}
+		for e := range total {
+			total[e] += lt[e]
+		}
+		edgeBuf.Put(lt)
+	}
+	mx := 0.0
+	for e, l := range total {
+		if u := l / r.G.Edge(graph.EdgeID(e)).Capacity; u > mx {
 			mx = u
 		}
 	}

@@ -1,0 +1,61 @@
+// Serial-vs-parallel parity of the public pipeline: for a fixed Seed the
+// computed configuration — Perf, ECMPPerf, and every splitting ratio — must
+// be bit-identical no matter how many workers the evaluation engine uses
+// (DESIGN.md §4's determinism contract, enforced end-to-end).
+package coyote_test
+
+import (
+	"testing"
+
+	coyote "github.com/coyote-te/coyote"
+)
+
+func computeWith(t *testing.T, name string, workers int) *coyote.Config {
+	t.Helper()
+	topo, err := coyote.LoadTopology(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := coyote.MarginBounds(coyote.GravityDemands(topo, 1), 2)
+	cfg, err := coyote.New(topo, bounds, coyote.Options{
+		OptimizerIters:   80,
+		AdversarialIters: 2,
+		Samples:          3,
+		Seed:             11,
+		Workers:          workers,
+	}).Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestComputeWorkerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity sweep in -short mode")
+	}
+	for _, name := range []string{"NSF", "Abilene", "Germany"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial := computeWith(t, name, 1)
+			for _, workers := range []int{4} {
+				par := computeWith(t, name, workers)
+				if par.Perf != serial.Perf {
+					t.Errorf("workers=%d: Perf %v != serial %v", workers, par.Perf, serial.Perf)
+				}
+				if par.ECMPPerf != serial.ECMPPerf {
+					t.Errorf("workers=%d: ECMPPerf %v != serial %v", workers, par.ECMPPerf, serial.ECMPPerf)
+				}
+				for dst := range serial.Routing.Phi {
+					for e := range serial.Routing.Phi[dst] {
+						if par.Routing.Phi[dst][e] != serial.Routing.Phi[dst][e] {
+							t.Fatalf("workers=%d: Phi[%d][%d] = %v, serial %v", workers, dst, e,
+								par.Routing.Phi[dst][e], serial.Routing.Phi[dst][e])
+						}
+					}
+				}
+			}
+		})
+	}
+}
