@@ -1,0 +1,35 @@
+# COYOTE build/test/bench entry points. Everything is plain `go` under the
+# hood; the targets just record the blessed invocations.
+
+GO ?= go
+
+.PHONY: all build test race bench smoke-examples
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_PR2.json, the machine-readable perf trajectory:
+# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) at 1 and
+# 4 workers, parsed into JSON by internal/tools/benchjson. CI runs this on
+# every push; commit the refreshed file when the numbers move materially.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompute' -benchtime 2x -cpu 1,4 . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson -out BENCH_PR2.json
+
+# smoke-examples builds and runs every examples/* binary (CI does the same
+# so examples cannot silently rot). gravitysweep is the slow one; the
+# timeout is generous for 1-CPU runners.
+smoke-examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		timeout 900 $(GO) run "./$$d" >/dev/null; \
+	done; echo "examples OK"

@@ -8,6 +8,11 @@
 //	coyote-eval -run fig6
 //	coyote-eval -run table1 -quick
 //	coyote-eval -all
+//	coyote-eval -topo-file net.graphml -demand hotspot
+//
+// -topo-file margin-sweeps an arbitrary topology file (text, GraphML, or
+// SNDlib native) through the evaluator, outside the registered
+// experiments.
 package main
 
 import (
@@ -17,23 +22,25 @@ import (
 	"os"
 	"time"
 
+	coyote "github.com/coyote-te/coyote"
 	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/scen"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs")
-		run     = flag.String("run", "", "experiment ID to run")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
-		workers = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
+		list     = flag.Bool("list", false, "list experiment IDs, corpus topologies, and scenario generators")
+		run      = flag.String("run", "", "experiment ID to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		topoFile = flag.String("topo-file", "", "margin-sweep this topology file (text/GraphML/SNDlib) instead of a registered experiment")
+		model    = flag.String("demand", "gravity", "demand model for -topo-file sweeps")
+		quick    = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
+		workers  = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range exp.IDs() {
-			fmt.Println(id)
-		}
+		printList()
 		return
 	}
 	cfg := exp.Default()
@@ -48,6 +55,18 @@ func main() {
 				fatal(err)
 			}
 		}
+	case *topoFile != "":
+		g, err := scen.ReadFile(*topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		tab, err := exp.SweepGraph(fmt.Sprintf("Sweep — %s", *topoFile), g, *model, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case *run != "":
 		if err := runOne(*run, cfg); err != nil {
 			if errors.Is(err, exp.ErrUnknownID) {
@@ -58,9 +77,26 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "coyote-eval: -run <id>, -all or -list required")
+		fmt.Fprintln(os.Stderr, "coyote-eval: -run <id>, -all, -topo-file or -list required")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// printList answers -list: the experiment registry plus everything the
+// scenario engine can feed it.
+func printList() {
+	fmt.Println("experiments (-run):")
+	for _, id := range exp.IDs() {
+		fmt.Printf("  %s\n", id)
+	}
+	fmt.Println("\ncorpus topologies (cmd/coyote -topo):")
+	for _, name := range coyote.TopologyNames() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("\nscenario generators (coyote-scen generate -gen):")
+	for _, g := range coyote.ScenarioGenerators() {
+		fmt.Printf("  %-8s %s\n", g.Name, g.Desc)
 	}
 }
 

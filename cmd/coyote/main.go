@@ -5,13 +5,18 @@
 //
 // Usage:
 //
+//	coyote -list
 //	coyote -topo Geant -margin 2.0 [-virtual 3] [-local-search] [-json]
 //	coyote -file net.txt -margin 2.5
+//	coyote -topo-file Geant.graphml -demand hotspot -margin 2
 //
 // With -file, the topology is read in the text format of cmd/coyote-topo
-// (node/link/edge directives). The base demand matrix is the gravity model
-// (§VI-B of the paper); -margin x bounds every demand within [d/x, d·x],
-// and -margin 0 selects full demand obliviousness.
+// (node/link/edge directives); -topo-file additionally accepts Topology
+// Zoo GraphML and SNDlib native files (format detected from extension or
+// content). The base demand matrix defaults to the gravity model (§VI-B
+// of the paper) and -demand selects any scenario-engine model; -margin x
+// bounds every demand within [d/x, d·x], and -margin 0 selects full
+// demand obliviousness.
 package main
 
 import (
@@ -19,14 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	coyote "github.com/coyote-te/coyote"
 )
 
 func main() {
 	var (
-		topoName    = flag.String("topo", "", "corpus topology name (see coyote-topo -list)")
+		list        = flag.Bool("list", false, "list corpus topologies, scenario generators, and demand models")
+		topoName    = flag.String("topo", "", "corpus topology name (see -list)")
 		file        = flag.String("file", "", "topology file in text format (alternative to -topo)")
+		topoFile    = flag.String("topo-file", "", "topology file in any supported format: text, GraphML, SNDlib (alternative to -topo)")
+		model       = flag.String("demand", "gravity", "base demand model: gravity, bimodal, hotspot, flash, uniform")
 		margin      = flag.Float64("margin", 2, "demand uncertainty margin (0 = fully oblivious)")
 		virtual     = flag.Int("virtual", 0, "synthesize lies with this many extra virtual next-hops per interface (0 = skip)")
 		localSearch = flag.Bool("local-search", false, "optimize OSPF weights with local search first")
@@ -40,15 +49,25 @@ func main() {
 	)
 	flag.Parse()
 
-	topo, err := loadTopology(*topoName, *file)
+	if *list {
+		printList()
+		return
+	}
+	topo, err := loadTopology(*topoName, *file, *topoFile)
 	if err != nil {
 		fatal(err)
 	}
-	base := coyote.GravityDemands(topo, 1)
 	var bounds *coyote.Bounds
 	if *margin <= 0 {
+		// Fully oblivious: no base demand model is consulted, so report
+		// that rather than the (ignored) -demand value.
+		*model = "(oblivious)"
 		bounds = coyote.ObliviousBounds(topo, 1)
 	} else {
+		base, err := coyote.BuildDemands(topo, *model, 1, *seed)
+		if err != nil {
+			fatal(err)
+		}
 		bounds = coyote.MarginBounds(base, *margin)
 	}
 	cfg, err := coyote.New(topo, bounds, coyote.Options{
@@ -70,6 +89,7 @@ func main() {
 	}
 	out := struct {
 		Topology string   `json:"topology"`
+		Demand   string   `json:"demand"`
 		Nodes    int      `json:"nodes"`
 		Links    int      `json:"links"`
 		Margin   float64  `json:"margin"`
@@ -78,7 +98,8 @@ func main() {
 		Gain     float64  `json:"gain"`
 		Lies     *liesOut `json:"lies,omitempty"`
 	}{
-		Topology: displayName(*topoName, *file),
+		Topology: displayName(*topoName, *file, *topoFile),
+		Demand:   *model,
 		Nodes:    topo.NumNodes(),
 		Links:    topo.NumLinks() / 2,
 		Margin:   *margin,
@@ -132,6 +153,7 @@ func main() {
 		return
 	}
 	fmt.Printf("topology        %s (%d nodes, %d links)\n", out.Topology, out.Nodes, out.Links)
+	fmt.Printf("demand model    %s\n", out.Demand)
 	fmt.Printf("uncertainty     margin %.1f\n", out.Margin)
 	fmt.Printf("COYOTE PERF     %.3f\n", out.Perf)
 	fmt.Printf("ECMP PERF       %.3f\n", out.ECMPPerf)
@@ -142,12 +164,22 @@ func main() {
 	}
 }
 
-func loadTopology(name, file string) (*coyote.Topology, error) {
+func loadTopology(name, file, topoFile string) (*coyote.Topology, error) {
+	set := 0
+	for _, s := range []string{name, file, topoFile} {
+		if s != "" {
+			set++
+		}
+	}
 	switch {
-	case name != "" && file != "":
-		return nil, fmt.Errorf("coyote: use either -topo or -file, not both")
+	case set > 1:
+		return nil, fmt.Errorf("coyote: use exactly one of -topo, -file, -topo-file")
 	case name != "":
-		return coyote.LoadTopology(name)
+		t, err := coyote.LoadTopology(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w (use -list for the known topologies and generators)", err)
+		}
+		return t, nil
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
@@ -155,16 +187,36 @@ func loadTopology(name, file string) (*coyote.Topology, error) {
 		}
 		defer f.Close()
 		return coyote.ReadTopology(f)
+	case topoFile != "":
+		return coyote.ReadTopologyFile(topoFile)
 	default:
-		return nil, fmt.Errorf("coyote: -topo or -file is required (try -topo Geant)")
+		return nil, fmt.Errorf("coyote: -topo, -file or -topo-file is required (try -topo Geant, or -list)")
 	}
 }
 
-func displayName(name, file string) string {
-	if name != "" {
-		return name
+// printList answers -list: everything a -topo / -demand flag accepts,
+// plus the scenario generators cmd/coyote-scen builds topologies with.
+func printList() {
+	fmt.Println("corpus topologies (-topo):")
+	for _, name := range coyote.TopologyNames() {
+		fmt.Printf("  %s\n", name)
 	}
-	return file
+	fmt.Println("\nscenario generators (coyote-scen generate -gen):")
+	for _, g := range coyote.ScenarioGenerators() {
+		fmt.Printf("  %-8s %s\n", g.Name, g.Desc)
+	}
+	fmt.Printf("\ndemand models (-demand): %s\n", strings.Join(coyote.DemandModels(), ", "))
+}
+
+func displayName(name, file, topoFile string) string {
+	switch {
+	case name != "":
+		return name
+	case file != "":
+		return file
+	default:
+		return topoFile
+	}
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/scen"
 	"github.com/coyote-te/coyote/internal/topo"
 )
 
@@ -37,6 +38,50 @@ func (t *Topology) WriteDOT(w io.Writer) error { return t.g.WriteDOT(w) }
 // ReadTopology parses the text format produced by WriteText.
 func ReadTopology(r io.Reader) (*Topology, error) {
 	g, err := graph.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// ReadGraphML parses a GraphML topology (the Internet Topology Zoo
+// format), inferring link capacities from the file's speed annotations
+// and OSPF weights from the inverse-capacity rule. See
+// internal/scen.ReadGraphML for the inference details.
+func ReadGraphML(r io.Reader) (*Topology, error) {
+	g, err := scen.ReadGraphML(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// ReadSNDlib parses a network in the SNDlib native format. When the file
+// carries a DEMANDS section the second return is its demand matrix;
+// otherwise it is nil.
+func ReadSNDlib(r io.Reader) (*Topology, *DemandMatrix, error) {
+	g, dm, err := scen.ReadSNDlib(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Topology{g: g}, dm, nil
+}
+
+// ReadTopologyAuto parses a topology whose format is detected from the
+// content: GraphML (XML), SNDlib native, or the line-oriented text format.
+func ReadTopologyAuto(r io.Reader) (*Topology, error) {
+	g, err := scen.ReadAuto(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// ReadTopologyFile loads a topology from a file, picking the parser from
+// the extension (.graphml/.gml/.xml, .snd/.sndlib/.native, else text
+// format) with content sniffing as the fallback for unknown extensions.
+func ReadTopologyFile(path string) (*Topology, error) {
+	g, err := scen.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

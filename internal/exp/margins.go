@@ -11,10 +11,13 @@ import (
 	"github.com/coyote-te/coyote/internal/oblivious"
 	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/scen"
 	"github.com/coyote-te/coyote/internal/topo"
 )
 
-// baseMatrix builds the base demand model of §VI-B for a topology.
+// baseMatrix builds a base demand model for a topology: the §VI-B pair
+// (gravity, bimodal) exactly as recorded in EXPERIMENTS.md, plus the
+// scenario-engine workloads (hotspot, flash, uniform) of internal/scen.
 func baseMatrix(g *graph.Graph, model string, seed int64) (*demand.Matrix, error) {
 	switch model {
 	case "gravity":
@@ -22,7 +25,7 @@ func baseMatrix(g *graph.Graph, model string, seed int64) (*demand.Matrix, error
 	case "bimodal":
 		return demand.Bimodal(g, demand.DefaultBimodal(), rand.New(rand.NewSource(seed))), nil
 	default:
-		return nil, fmt.Errorf("exp: unknown demand model %q (want gravity or bimodal)", model)
+		return scen.BaseMatrix(g, model, 1, seed)
 	}
 }
 

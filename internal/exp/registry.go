@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/coyote-te/coyote/internal/scen"
 )
 
 // Runner produces one experiment's table under a configuration.
@@ -43,6 +45,25 @@ var registry = map[string]Runner{
 	"negative-path": func(cfg Config) (*Table, error) {
 		return PathLowerBound(6)
 	},
+	// Scenario-engine sweeps (internal/scen): generated topologies and
+	// workload suites through the same parallel evaluator. Sizes are kept
+	// modest so `-all` stays tractable; cmd/coyote-scen sweeps arbitrary
+	// parameters.
+	"scen-waxman": func(cfg Config) (*Table, error) {
+		return ScenSweep("waxman", scen.Params{N: 16}, "gravity", cfg)
+	},
+	"scen-ba": func(cfg Config) (*Table, error) {
+		return ScenSweep("ba", scen.Params{N: 16, M: 2}, "gravity", cfg)
+	},
+	"scen-fattree": func(cfg Config) (*Table, error) {
+		return ScenSweep("fattree", scen.Params{K: 4}, "hotspot", cfg)
+	},
+	"scen-grid-day": func(cfg Config) (*Table, error) {
+		return ScenTimeOfDay(scen.Params{Rows: 4, Cols: 4}, 12, cfg)
+	},
+	"scen-srlg": func(cfg Config) (*Table, error) {
+		return ScenSRLG(scen.Params{N: 10, M: 4}, 5, cfg)
+	},
 }
 
 // IDs returns the registered experiment IDs, sorted.
@@ -77,6 +98,11 @@ var ErrUnknownID = errors.New("unknown experiment ID")
 //	failover       — per-link failure configurations (NSF)
 //	negative-np    — Theorem 1 NP-hardness gadget
 //	negative-path  — Theorem 4 path lower bound
+//	scen-waxman    — margin sweep on a generated Waxman WAN
+//	scen-ba        — margin sweep on a Barabási–Albert graph
+//	scen-fattree   — hotspot-demand sweep on a k=4 fat-tree fabric
+//	scen-grid-day  — time-of-day sequence vs one static config (grid WAN)
+//	scen-srlg      — shared-risk link-group failures on a ring WAN
 //
 // An unregistered ID yields an error wrapping ErrUnknownID that lists the
 // valid IDs.

@@ -137,6 +137,64 @@ func (p *Plan) NumDisconnecting() int {
 	return n
 }
 
+// GroupScenario is one precomputed multi-link-failure configuration: a
+// whole group of links (a shared-risk link group, or a sampled k-link
+// combination from the scenario engine) fails at once and the survivors
+// are re-optimized.
+type GroupScenario struct {
+	// Failed lists the representative edge IDs (in the original graph) of
+	// the links that fail together.
+	Failed []graph.EdgeID
+	// Disconnected reports that the group's failure partitions the
+	// network; no routing is computed in that case.
+	Disconnected bool
+	// Survivor is the topology with the group removed (its own edge IDs).
+	Survivor *graph.Graph
+	// Routing is the re-optimized COYOTE configuration on Survivor.
+	Routing *pdrouting.Routing
+	// Perf and ECMPPerf are worst-case normalized utilizations on the
+	// surviving topology.
+	Perf     float64
+	ECMPPerf float64
+}
+
+// PrecomputeGroups builds one re-optimized configuration per link group —
+// the multi-link generalization of Precompute that internal/scen's SRLG
+// and k-link failure suites feed. Groups are computed in parallel; an
+// empty group yields the normal-topology configuration.
+func PrecomputeGroups(g *graph.Graph, box *demand.Box, groups [][]graph.EdgeID, cfg Config) ([]GroupScenario, error) {
+	cfg = cfg.withDefaults()
+	evalCfg := oblivious.EvalConfig{Eps: cfg.Eps, Samples: cfg.Samples, Seed: cfg.Seed, Workers: cfg.Workers}
+	opts := oblivious.Options{
+		Optimizer: gpopt.Config{Iters: cfg.OptIters},
+		Eval:      evalCfg,
+		AdvIters:  cfg.AdvIters,
+		Workers:   cfg.Workers,
+	}
+	out := make([]GroupScenario, len(groups))
+	par.For(cfg.Workers, len(groups), func(i int) {
+		out[i] = computeGroupScenario(g, box, groups[i], opts, evalCfg)
+	})
+	return out, nil
+}
+
+func computeGroupScenario(g *graph.Graph, box *demand.Box, group []graph.EdgeID, opts oblivious.Options, evalCfg oblivious.EvalConfig) GroupScenario {
+	sc := GroupScenario{Failed: append([]graph.EdgeID(nil), group...)}
+	survivor := g.WithoutLinks(group)
+	sc.Survivor = survivor
+	if !survivor.Connected() {
+		sc.Disconnected = true
+		return sc
+	}
+	dags := dagx.BuildAll(survivor, dagx.Augmented)
+	ev := oblivious.NewEvaluator(survivor, dags, box, evalCfg)
+	routing, rep := oblivious.OptimizeWithEvaluator(survivor, dags, ev, opts)
+	sc.Routing = routing
+	sc.Perf = rep.Perf.Ratio
+	sc.ECMPPerf = ev.Perf(oblivious.ECMPOnDAGs(survivor, dags)).Ratio
+	return sc
+}
+
 // NodeScenario is one precomputed single-node-failure configuration: the
 // failed router is isolated (its links removed) and its demands drop out
 // of the uncertainty set; the rest of the network is re-optimized.

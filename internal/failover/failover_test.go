@@ -111,3 +111,50 @@ func TestPrecomputeNodes(t *testing.T) {
 		t.Fatalf("node scenario routing invalid: %v", err)
 	}
 }
+
+func TestPrecomputeGroups(t *testing.T) {
+	g := ringWithSpur()
+	links := g.Links() // 4 ring links then the spur bridge
+	groups := [][]graph.EdgeID{
+		{links[0]},           // single ring link: survivable
+		{links[0], links[2]}, // two opposite ring links: partitions the ring
+		{links[4]},           // the spur bridge: disconnects
+		{},                   // empty group: the normal topology
+	}
+	scenarios, err := PrecomputeGroups(g, smallBox(g), groups, Config{OptIters: 60, AdvIters: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != len(groups) {
+		t.Fatalf("%d scenarios, want %d", len(scenarios), len(groups))
+	}
+	if scenarios[0].Disconnected || scenarios[0].Routing == nil {
+		t.Fatal("single ring-link group must be survivable")
+	}
+	if scenarios[0].Survivor.NumEdges() != g.NumEdges()-2 {
+		t.Fatalf("survivor has %d edges", scenarios[0].Survivor.NumEdges())
+	}
+	if !scenarios[1].Disconnected {
+		t.Fatal("opposite ring links must partition the network")
+	}
+	if !scenarios[2].Disconnected {
+		t.Fatal("spur bridge group must disconnect")
+	}
+	if scenarios[3].Disconnected || scenarios[3].Routing == nil {
+		t.Fatal("empty group is the normal topology")
+	}
+	if scenarios[3].Survivor.NumEdges() != g.NumEdges() {
+		t.Fatal("empty group must keep every edge")
+	}
+	for i, sc := range scenarios {
+		if sc.Disconnected {
+			continue
+		}
+		if err := sc.Routing.Validate(); err != nil {
+			t.Fatalf("group %d routing invalid: %v", i, err)
+		}
+		if sc.Perf > sc.ECMPPerf+1e-9 {
+			t.Fatalf("group %d: COYOTE %g worse than ECMP %g", i, sc.Perf, sc.ECMPPerf)
+		}
+	}
+}

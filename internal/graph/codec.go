@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -73,6 +74,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if !ok {
 				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineno, fields[2])
 			}
+			if from == to {
+				return nil, fmt.Errorf("graph: line %d: self-loop at %q", lineno, fields[1])
+			}
 			capacity, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad capacity: %v", lineno, err)
@@ -81,8 +85,13 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineno, err)
 			}
-			if capacity <= 0 || weight <= 0 {
-				return nil, fmt.Errorf("graph: line %d: capacity and weight must be positive", lineno)
+			// Reject non-positive, NaN and infinite values here so malformed
+			// input surfaces as an error instead of an AddEdge panic.
+			if !(capacity > 0) || math.IsInf(capacity, 1) {
+				return nil, fmt.Errorf("graph: line %d: capacity must be positive and finite, got %q", lineno, fields[3])
+			}
+			if !(weight > 0) || math.IsInf(weight, 1) {
+				return nil, fmt.Errorf("graph: line %d: weight must be positive and finite, got %q", lineno, fields[4])
 			}
 			if fields[0] == "link" {
 				g.AddLink(from, to, capacity, weight)

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadTextMalformed exercises every malformed-input class: each must
+// surface as an error from ReadText, never as a panic from the graph
+// constructors underneath.
+func TestReadTextMalformed(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"bad directive", "frobnicate a b c"},
+		{"node arity", "node a b"},
+		{"link arity short", "node a\nnode b\nlink a b 1"},
+		{"link arity long", "node a\nnode b\nlink a b 1 1 1"},
+		{"dangling from", "node b\nlink a b 1 1"},
+		{"dangling to", "node a\nlink a b 1 1"},
+		{"dangling edge from", "node b\nedge a b 1 1"},
+		{"dangling edge to", "node a\nedge a b 1 1"},
+		{"self-loop link", "node a\nlink a a 1 1"},
+		{"self-loop edge", "node a\nedge a a 1 1"},
+		{"negative capacity", "node a\nnode b\nlink a b -2 1"},
+		{"zero capacity", "node a\nnode b\nlink a b 0 1"},
+		{"NaN capacity", "node a\nnode b\nlink a b NaN 1"},
+		{"Inf capacity", "node a\nnode b\nlink a b +Inf 1"},
+		{"unparsable capacity", "node a\nnode b\nlink a b ten 1"},
+		{"negative weight", "node a\nnode b\nlink a b 1 -3"},
+		{"zero weight", "node a\nnode b\nedge a b 1 0"},
+		{"NaN weight", "node a\nnode b\nedge a b 1 NaN"},
+		{"Inf weight", "node a\nnode b\nedge a b 1 Inf"},
+		{"unparsable weight", "node a\nnode b\nedge a b 1 heavy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadText(%q) panicked: %v", tc.src, r)
+				}
+			}()
+			if _, err := ReadText(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("ReadText(%q) = nil error, want failure", tc.src)
+			}
+		})
+	}
+}
+
+// TestReadTextCommentsAndBlanks verifies that comments and blank lines are
+// skipped and line numbers in errors still count them.
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nnode a\n  # indented comment\nnode b\n\nlink a b 2.5 4\n"
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("got %v, want 2 nodes / 2 edges", g)
+	}
+	bad := "# one\n# two\nnode a\nnode b\nlink a b bogus 1\n"
+	_, err = ReadText(strings.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %v should name line 5", err)
+	}
+}
+
+// TestTextRoundTripPreservesStructure writes and re-reads a graph mixing
+// bidirectional links, one-way edges, and an asymmetric pair (differing
+// capacity per direction), checking names and reverse pairing survive.
+func TestTextRoundTripPreservesStructure(t *testing.T) {
+	g := New()
+	a := g.AddNode("alpha")
+	b := g.AddNode("beta-7")
+	c := g.AddNode("gamma.3")
+	g.AddLink(a, b, 10, 1)
+	g.AddEdge(b, c, 2.5, 4) // one-way
+	// Asymmetric "link": two directed edges with different capacities must
+	// serialize as two edge directives, not collapse into one link.
+	g.AddEdge(c, a, 5, 2)
+	g.AddEdge(a, c, 1, 2)
+
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	g2, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g2.NumNodes() != 3 || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", g2, g)
+	}
+	for _, name := range []string{"alpha", "beta-7", "gamma.3"} {
+		if _, ok := g2.NodeByName(name); !ok {
+			t.Errorf("node %q lost in round trip", name)
+		}
+	}
+	// The bidirectional link must come back reverse-paired.
+	a2, _ := g2.NodeByName("alpha")
+	b2, _ := g2.NodeByName("beta-7")
+	id, ok := g2.FindEdge(a2, b2)
+	if !ok {
+		t.Fatal("alpha->beta-7 missing")
+	}
+	if rev := g2.Edge(id).Reverse; rev < 0 || g2.Edge(rev).From != b2 {
+		t.Errorf("alpha--beta-7 not reverse-paired after round trip")
+	}
+	// A second write must be byte-identical (stable serialization).
+	var buf2 bytes.Buffer
+	if err := g2.WriteText(&buf2); err != nil {
+		t.Fatalf("WriteText #2: %v", err)
+	}
+	if buf2.String() != text {
+		t.Errorf("serialization not stable:\n%s\nvs\n%s", buf2.String(), text)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("round-tripped graph invalid: %v", err)
+	}
+}

@@ -286,9 +286,20 @@ func (g *Graph) SortedNodeNames() []string {
 // graph; node IDs are preserved. Failure analysis uses this to model
 // single-link outages.
 func (g *Graph) WithoutLink(id EdgeID) *Graph {
-	skip := map[EdgeID]bool{id: true}
-	if r := g.edges[id].Reverse; r >= 0 {
-		skip[r] = true
+	return g.WithoutLinks([]EdgeID{id})
+}
+
+// WithoutLinks returns a copy of g with every listed directed edge and its
+// reverse (if any) removed — the multi-link generalization of WithoutLink
+// used for shared-risk-link-group and k-link failure scenarios. Edge IDs
+// are re-assigned densely; node IDs are preserved.
+func (g *Graph) WithoutLinks(ids []EdgeID) *Graph {
+	skip := make(map[EdgeID]bool, 2*len(ids))
+	for _, id := range ids {
+		skip[id] = true
+		if r := g.edges[id].Reverse; r >= 0 {
+			skip[r] = true
+		}
 	}
 	c := New()
 	for _, name := range g.names {

@@ -1,0 +1,126 @@
+package scen
+
+import (
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+func TestSingleLinkFailures(t *testing.T) {
+	g := testGraph(t) // ring n=8 + 2 chords = 10 links
+	sets := SingleLinkFailures(g)
+	if len(sets) != len(g.Links()) {
+		t.Fatalf("%d sets, want %d", len(sets), len(g.Links()))
+	}
+	for _, s := range sets {
+		if len(s.Links) != 1 || s.Name == "" {
+			t.Errorf("bad set %+v", s)
+		}
+	}
+}
+
+func TestKLinkFailures(t *testing.T) {
+	g := testGraph(t)
+	l := len(g.Links())
+	sets, err := KLinkFailures(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := l * (l - 1) / 2; len(sets) != want {
+		t.Fatalf("%d pairs, want C(%d,2) = %d", len(sets), l, want)
+	}
+	seen := map[string]bool{}
+	for _, s := range sets {
+		if len(s.Links) != 2 {
+			t.Fatalf("set size %d, want 2", len(s.Links))
+		}
+		key := s.Name
+		if seen[key] {
+			t.Fatalf("duplicate set %q", key)
+		}
+		seen[key] = true
+	}
+	if _, err := KLinkFailures(g, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KLinkFailures(g, l+1); err == nil {
+		t.Error("k > links should fail")
+	}
+}
+
+func TestSampleKLinkFailures(t *testing.T) {
+	g := testGraph(t)
+	sets, err := SampleKLinkFailures(g, 3, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 5 {
+		t.Fatalf("%d sets, want 5", len(sets))
+	}
+	seen := map[string]bool{}
+	for _, s := range sets {
+		if len(s.Links) != 3 {
+			t.Fatalf("set size %d, want 3", len(s.Links))
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate sampled set %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// Deterministic in seed.
+	again, err := SampleKLinkFailures(g, 3, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sets {
+		if sets[i].Name != again[i].Name {
+			t.Fatalf("sample %d differs across runs", i)
+		}
+	}
+	// Asking for at least as many sets as exist falls back to exhaustive
+	// enumeration — never a silently truncated sample.
+	l := len(g.Links())
+	all, err := SampleKLinkFailures(g, 2, l*l, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := l * (l - 1) / 2; len(all) != want {
+		t.Fatalf("%d sets, want exhaustive %d", len(all), want)
+	}
+	if _, err := SampleKLinkFailures(g, 2, 0, 7); err == nil {
+		t.Error("count=0 should fail")
+	}
+}
+
+func TestSRLGPartitionCoversEveryLinkOnce(t *testing.T) {
+	g := testGraph(t)
+	sets := SRLGPartition(g, 3, 7)
+	count := map[graph.EdgeID]int{}
+	for _, s := range sets {
+		if len(s.Links) == 0 {
+			t.Errorf("empty group %q survived", s.Name)
+		}
+		for _, id := range s.Links {
+			count[id]++
+		}
+	}
+	for _, id := range g.Links() {
+		if count[id] != 1 {
+			t.Errorf("link %d appears %d times, want exactly once", id, count[id])
+		}
+	}
+	// Deterministic in seed; a different seed may regroup.
+	again := SRLGPartition(g, 3, 7)
+	if len(again) != len(sets) {
+		t.Fatal("partition differs across runs")
+	}
+	for i := range sets {
+		if len(sets[i].Links) != len(again[i].Links) {
+			t.Fatalf("group %d differs across runs", i)
+		}
+	}
+	// Degenerate group counts clamp instead of failing.
+	if got := SRLGPartition(g, 0, 7); len(got) != 1 {
+		t.Errorf("groups=0 should clamp to one group, got %d", len(got))
+	}
+}

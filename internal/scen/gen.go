@@ -1,0 +1,267 @@
+package scen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// linkWeight is the Cisco-recommended default the paper cites [16] and
+// internal/topo uses: OSPF cost inversely proportional to capacity.
+func linkWeight(c float64) float64 { return math.Max(1, math.Round(10/c)) }
+
+// capPicker samples link capacities from the configured classes. All
+// randomness flows through the generator's single rng so results are a
+// pure function of the seed.
+func capPicker(p Params, rng *rand.Rand) func() float64 {
+	return func() float64 { return p.CapClasses[rng.Intn(len(p.CapClasses))] }
+}
+
+// addCapLink adds a bidirectional link with a sampled capacity class,
+// skipping self-loops and duplicates.
+func addCapLink(g *graph.Graph, a, b graph.NodeID, pick func() float64) {
+	if a == b {
+		return
+	}
+	if _, dup := g.FindEdge(a, b); dup {
+		return
+	}
+	c := pick()
+	g.AddLink(a, b, c, linkWeight(c))
+}
+
+// genWaxman builds the classic Waxman random WAN [Waxman 1988]: N nodes
+// placed uniformly in the unit square, a link between u and v with
+// probability Alpha·exp(-d(u,v)/(Beta·L)) where L is the square's
+// diameter. Sampling can leave the graph disconnected; components are then
+// joined along their geometrically closest inter-component pair, so the
+// result is always connected yet still seed-deterministic.
+func genWaxman(p Params) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("waxman needs n ≥ 2, got %d", p.N)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New()
+	xs := make([]float64, p.N)
+	ys := make([]float64, p.N)
+	for i := 0; i < p.N; i++ {
+		g.AddNode(fmt.Sprintf("wax-%02d", i))
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	pick := capPicker(p, rng)
+	l := math.Sqrt2 // diameter of the unit square
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if rng.Float64() < p.Alpha*math.Exp(-dist(i, j)/(p.Beta*l)) {
+				addCapLink(g, graph.NodeID(i), graph.NodeID(j), pick)
+			}
+		}
+	}
+	// Join components along closest pairs until connected.
+	comp := newUnionFind(p.N)
+	for _, e := range g.Edges() {
+		comp.union(int(e.From), int(e.To))
+	}
+	for comp.count > 1 {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < p.N; i++ {
+			for j := i + 1; j < p.N; j++ {
+				if comp.find(i) != comp.find(j) && dist(i, j) < best {
+					bi, bj, best = i, j, dist(i, j)
+				}
+			}
+		}
+		addCapLink(g, graph.NodeID(bi), graph.NodeID(bj), pick)
+		comp.union(bi, bj)
+	}
+	return g, nil
+}
+
+// genBarabasiAlbert grows a scale-free graph by preferential attachment
+// [Barabási & Albert 1999]: starting from an (M+1)-clique, each new node
+// links to M distinct existing nodes chosen with probability proportional
+// to their current degree. Always connected by construction.
+func genBarabasiAlbert(p Params) (*graph.Graph, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("ba needs n ≥ 2, got %d", p.N)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New()
+	for i := 0; i < p.N; i++ {
+		g.AddNode(fmt.Sprintf("ba-%02d", i))
+	}
+	pick := capPicker(p, rng)
+	m := p.M
+	if m > p.N-1 {
+		m = p.N - 1
+	}
+	// targets holds one entry per endpoint of every link, so uniform
+	// sampling from it is degree-proportional sampling.
+	var targets []int
+	seedSize := m + 1
+	if seedSize > p.N {
+		seedSize = p.N
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			addCapLink(g, graph.NodeID(i), graph.NodeID(j), pick)
+			targets = append(targets, i, j)
+		}
+	}
+	for v := seedSize; v < p.N; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			u := targets[rng.Intn(len(targets))]
+			chosen[u] = true
+		}
+		// Attach in ascending order so the rng consumption above is the
+		// only randomness (map iteration order must not leak into output).
+		for u := 0; u < v; u++ {
+			if chosen[u] {
+				addCapLink(g, graph.NodeID(v), graph.NodeID(u), pick)
+				targets = append(targets, v, u)
+			}
+		}
+	}
+	return g, nil
+}
+
+// genFatTree builds the canonical k-ary fat-tree/Clos fabric [Al-Fares et
+// al. 2008]: k pods of k/2 edge and k/2 aggregation switches plus (k/2)²
+// core switches. Links are uniform 10-unit capacity with weight 1 (fabrics
+// are run with uniform costs so ECMP spreads across all equal-cost paths);
+// CapClasses is ignored. Deterministic with no randomness at all — Seed is
+// unused.
+func genFatTree(p Params) (*graph.Graph, error) {
+	k := p.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fattree needs even k ≥ 2, got %d", k)
+	}
+	g := graph.New()
+	half := k / 2
+	cores := make([]graph.NodeID, half*half)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core-%02d", i))
+	}
+	const capacity, weight = 10, 1
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]graph.NodeID, half)
+		edges := make([]graph.NodeID, half)
+		for j := 0; j < half; j++ {
+			aggs[j] = g.AddNode(fmt.Sprintf("pod%d-agg%d", pod, j))
+			edges[j] = g.AddNode(fmt.Sprintf("pod%d-edge%d", pod, j))
+		}
+		for _, e := range edges {
+			for _, a := range aggs {
+				g.AddLink(e, a, capacity, weight)
+			}
+		}
+		for j, a := range aggs {
+			for c := 0; c < half; c++ {
+				g.AddLink(a, cores[j*half+c], capacity, weight)
+			}
+		}
+	}
+	return g, nil
+}
+
+// genGrid builds a Rows×Cols grid WAN (each node linked to its right and
+// down neighbors), optionally wrapped into a torus. Capacities are sampled
+// per link from CapClasses.
+func genGrid(p Params) (*graph.Graph, error) {
+	if p.Rows*p.Cols < 2 {
+		return nil, errors.New("grid needs at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New()
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*p.Cols + c) }
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			g.AddNode(fmt.Sprintf("grid-r%dc%d", r, c))
+		}
+	}
+	pick := capPicker(p, rng)
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			if c+1 < p.Cols {
+				addCapLink(g, id(r, c), id(r, c+1), pick)
+			} else if p.Wrap && p.Cols > 2 {
+				addCapLink(g, id(r, c), id(r, 0), pick)
+			}
+			if r+1 < p.Rows {
+				addCapLink(g, id(r, c), id(r+1, c), pick)
+			} else if p.Wrap && p.Rows > 2 {
+				addCapLink(g, id(r, c), id(0, c), pick)
+			}
+		}
+	}
+	return g, nil
+}
+
+// genRing builds an N-node ring with M extra random chords (the shape of
+// many metro/national backbones; compare internal/topo's backbone style).
+func genRing(p Params) (*graph.Graph, error) {
+	if p.N < 3 {
+		return nil, fmt.Errorf("ring needs n ≥ 3, got %d", p.N)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := graph.New()
+	for i := 0; i < p.N; i++ {
+		g.AddNode(fmt.Sprintf("ring-%02d", i))
+	}
+	pick := capPicker(p, rng)
+	for i := 0; i < p.N; i++ {
+		addCapLink(g, graph.NodeID(i), graph.NodeID((i+1)%p.N), pick)
+	}
+	maxChords := p.N*(p.N-1)/2 - p.N // complete graph minus the ring
+	for added, want := 0, min(p.M, maxChords); added < want; {
+		a := graph.NodeID(rng.Intn(p.N))
+		b := graph.NodeID(rng.Intn(p.N))
+		if a == b {
+			continue
+		}
+		if _, dup := g.FindEdge(a, b); dup {
+			continue
+		}
+		addCapLink(g, a, b, pick)
+		added++
+	}
+	return g, nil
+}
+
+// unionFind is a minimal disjoint-set over 0..n-1 for connectivity repair.
+type unionFind struct {
+	parent []int
+	count  int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+		u.count--
+	}
+}

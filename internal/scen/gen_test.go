@@ -1,0 +1,139 @@
+package scen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func render(t *testing.T, name string, p Params) string {
+	t.Helper()
+	g, err := Generate(name, p)
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+// smallParams gives each generator a quick-to-build instance.
+func smallParams() map[string]Params {
+	return map[string]Params{
+		"waxman":  {N: 14, Seed: 7},
+		"ba":      {N: 14, M: 2, Seed: 7},
+		"fattree": {K: 4},
+		"grid":    {Rows: 3, Cols: 4, Seed: 7},
+		"ring":    {N: 10, M: 3, Seed: 7},
+	}
+}
+
+// TestGeneratorsDeterministic is the core determinism guarantee: the same
+// (generator, Params) must produce the byte-identical topology text, and
+// a different seed must not (for the randomized generators).
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, p := range smallParams() {
+		first := render(t, name, p)
+		second := render(t, name, p)
+		if first != second {
+			t.Errorf("%s: same seed produced different topologies:\n%s\nvs\n%s", name, first, second)
+		}
+		if name == "fattree" {
+			continue // seed-free by design
+		}
+		p2 := p
+		p2.Seed = p.Seed + 1
+		if other := render(t, name, p2); other == first {
+			t.Errorf("%s: different seeds produced identical topologies", name)
+		}
+	}
+}
+
+// TestGeneratorsValidAcrossSeeds stresses each generator across seeds;
+// Generate itself enforces Validate + strong connectivity, so a nil error
+// is the assertion.
+func TestGeneratorsValidAcrossSeeds(t *testing.T) {
+	for name, p := range smallParams() {
+		for seed := int64(0); seed < 12; seed++ {
+			p.Seed = seed
+			if _, err := Generate(name, p); err != nil {
+				t.Errorf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	cases := []struct {
+		name       string
+		p          Params
+		nodes      int
+		minLinks   int
+		exactLinks int // -1 = only check minLinks
+	}{
+		{"waxman", Params{N: 20, Seed: 3}, 20, 19, -1},
+		{"ba", Params{N: 20, M: 2, Seed: 3}, 20, 2*20 - 5, -1},
+		// k=4 fat-tree: 4 cores + 4 pods × (2 agg + 2 edge) = 20 switches,
+		// 4 links inside each pod + 2 uplinks per agg = 32 links.
+		{"fattree", Params{K: 4}, 20, 32, 32},
+		// 3×4 grid: 3·3 horizontal + 2·4 vertical = 17 links.
+		{"grid", Params{Rows: 3, Cols: 4, Seed: 3}, 12, 17, 17},
+		// 3×4 torus adds a wrap link per row and column.
+		{"grid+wrap", Params{Rows: 3, Cols: 4, Wrap: true, Seed: 3}, 12, 24, 24},
+		{"ring", Params{N: 12, M: 3, Seed: 3}, 12, 15, 15},
+	}
+	for _, tc := range cases {
+		name := tc.name
+		if name == "grid+wrap" {
+			name = "grid"
+		}
+		g, err := Generate(name, tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if g.NumNodes() != tc.nodes {
+			t.Errorf("%s: %d nodes, want %d", tc.name, g.NumNodes(), tc.nodes)
+		}
+		links := len(g.Links())
+		if tc.exactLinks >= 0 && links != tc.exactLinks {
+			t.Errorf("%s: %d links, want %d", tc.name, links, tc.exactLinks)
+		}
+		if links < tc.minLinks {
+			t.Errorf("%s: %d links, want ≥ %d", tc.name, links, tc.minLinks)
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate("nope", Params{}); err == nil {
+		t.Error("unknown generator should fail")
+	}
+	if _, err := Generate("fattree", Params{K: 3}); err == nil {
+		t.Error("odd fat-tree arity should fail")
+	}
+	if _, err := Generate("waxman", Params{N: 1}); err == nil {
+		t.Error("1-node waxman should fail")
+	}
+	if _, err := Generate("ring", Params{N: 2}); err == nil {
+		t.Error("2-node ring should fail")
+	}
+}
+
+func TestNamesAndDescribe(t *testing.T) {
+	names := Names()
+	want := []string{"ba", "fattree", "grid", "ring", "waxman"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+	for _, g := range Describe() {
+		if g.Desc == "" || g.build == nil {
+			t.Errorf("generator %q missing description or builder", g.Name)
+		}
+	}
+}

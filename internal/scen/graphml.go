@@ -1,0 +1,219 @@
+package scen
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// ReadGraphML parses a GraphML topology as published by the Internet
+// Topology Zoo [Knight et al. 2011] into a Graph.
+//
+// Node names come from the "label" attribute when present (disambiguated
+// with the node id on collision), else the node id. Link capacities are
+// inferred, in order of preference, from the edge attributes
+// "LinkSpeedRaw" (bits/s, converted to Gbit/s units matching the
+// synthetic corpus), "LinkSpeed" + "LinkSpeedUnits", or a recognizable
+// "LinkLabel" such as "10 Gbps" or "OC-48"; edges with no usable
+// annotation default to capacity 1. OSPF weights follow the
+// inverse-capacity rule. Undirected edges (the Zoo's edgedefault) become
+// bidirectional links; parallel edges between the same pair are merged by
+// summing their capacities, and self-loops are dropped.
+func ReadGraphML(r io.Reader) (*graph.Graph, error) {
+	var doc gmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("scen: graphml: %w", err)
+	}
+	if len(doc.Graphs) == 0 {
+		return nil, fmt.Errorf("scen: graphml: no <graph> element")
+	}
+	gr := doc.Graphs[0]
+	if len(gr.Nodes) == 0 {
+		return nil, fmt.Errorf("scen: graphml: graph has no nodes")
+	}
+
+	// Resolve attribute keys: key/@id -> attr.name, per declared domain.
+	nodeAttr := map[string]string{}
+	edgeAttr := map[string]string{}
+	for _, k := range doc.Keys {
+		name := k.AttrName
+		if name == "" {
+			continue
+		}
+		switch k.For {
+		case "node":
+			nodeAttr[k.ID] = name
+		case "edge":
+			edgeAttr[k.ID] = name
+		case "", "all", "graph":
+			nodeAttr[k.ID] = name
+			edgeAttr[k.ID] = name
+		}
+	}
+
+	g := graph.New()
+	byID := make(map[string]graph.NodeID, len(gr.Nodes))
+	for _, n := range gr.Nodes {
+		label := strings.TrimSpace(attrValue(n.Data, nodeAttr, "label"))
+		name := label
+		if name == "" {
+			name = n.ID
+		}
+		if _, taken := g.NodeByName(name); taken {
+			name = fmt.Sprintf("%s (%s)", name, n.ID)
+		}
+		byID[n.ID] = g.AddNode(name)
+	}
+
+	// Accumulate capacity per node pair so parallel Zoo edges merge: per
+	// unordered pair for undirected graphs (the Zoo's edgedefault), per
+	// ordered pair when the file declares edgedefault="directed".
+	directed := gr.EdgeDefault == "directed"
+	type pair struct{ a, b graph.NodeID }
+	caps := make(map[pair]float64)
+	var order []pair // insertion order, for deterministic edge IDs
+	for i, e := range gr.Edges {
+		from, ok := byID[e.Source]
+		if !ok {
+			return nil, fmt.Errorf("scen: graphml: edge %d references unknown node %q", i, e.Source)
+		}
+		to, ok := byID[e.Target]
+		if !ok {
+			return nil, fmt.Errorf("scen: graphml: edge %d references unknown node %q", i, e.Target)
+		}
+		if from == to {
+			continue // Zoo files occasionally carry self-loops; drop them
+		}
+		p := pair{from, to}
+		if !directed && p.a > p.b {
+			p.a, p.b = p.b, p.a
+		}
+		if _, seen := caps[p]; !seen {
+			order = append(order, p)
+		}
+		caps[p] += edgeCapacity(e.Data, edgeAttr)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("scen: graphml: graph has no usable edges")
+	}
+	for _, p := range order {
+		c := caps[p]
+		if !(c > 0) || math.IsInf(c, 1) {
+			return nil, fmt.Errorf("scen: graphml: non-finite capacity on edge %s–%s", g.Name(p.a), g.Name(p.b))
+		}
+		if directed {
+			g.AddEdge(p.a, p.b, c, linkWeight(c))
+		} else {
+			g.AddLink(p.a, p.b, c, linkWeight(c))
+		}
+	}
+	return g, nil
+}
+
+// edgeCapacity infers one edge's capacity in Gbit/s-like units.
+func edgeCapacity(data []gmlData, attr map[string]string) float64 {
+	if raw := attrValue(data, attr, "LinkSpeedRaw"); raw != "" {
+		if v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64); err == nil && v > 0 && !math.IsInf(v, 1) {
+			return v / 1e9
+		}
+	}
+	if spd := attrValue(data, attr, "LinkSpeed"); spd != "" {
+		if v, err := strconv.ParseFloat(strings.TrimSpace(spd), 64); err == nil && v > 0 && !math.IsInf(v, 1) {
+			return v * unitScale(attrValue(data, attr, "LinkSpeedUnits"))
+		}
+	}
+	if lbl := attrValue(data, attr, "LinkLabel"); lbl != "" {
+		if v, ok := parseLinkLabel(lbl); ok {
+			return v
+		}
+	}
+	return 1
+}
+
+func attrValue(data []gmlData, attr map[string]string, name string) string {
+	for _, d := range data {
+		if attr[d.Key] == name {
+			return d.Value
+		}
+	}
+	return ""
+}
+
+// unitScale converts a Topology Zoo LinkSpeedUnits value to Gbit/s.
+func unitScale(units string) float64 {
+	switch strings.ToUpper(strings.TrimSpace(units)) {
+	case "K":
+		return 1e-6
+	case "M":
+		return 1e-3
+	case "T":
+		return 1e3
+	default: // "G" or unspecified
+		return 1
+	}
+}
+
+var (
+	speedLabelRe = regexp.MustCompile(`(?i)([0-9]+(?:\.[0-9]+)?)\s*([KMGT])b`)
+	ocLabelRe    = regexp.MustCompile(`(?i)OC-?([0-9]+)`)
+)
+
+// parseLinkLabel recognizes the free-text speed labels common in Zoo
+// files: "10 Gbps", "155 Mbps", "OC-48", ...
+func parseLinkLabel(label string) (float64, bool) {
+	if m := speedLabelRe.FindStringSubmatch(label); m != nil {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err == nil && v > 0 {
+			return v * unitScale(m[2]), true
+		}
+	}
+	if m := ocLabelRe.FindStringSubmatch(label); m != nil {
+		// OC-n is n × 51.84 Mbit/s.
+		if n, err := strconv.Atoi(m[1]); err == nil && n > 0 {
+			return float64(n) * 51.84e-3, true
+		}
+	}
+	return 0, false
+}
+
+// gmlDoc et al. mirror just enough of the GraphML schema.
+type gmlDoc struct {
+	XMLName xml.Name   `xml:"graphml"`
+	Keys    []gmlKey   `xml:"key"`
+	Graphs  []gmlGraph `xml:"graph"`
+}
+
+type gmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+}
+
+type gmlGraph struct {
+	EdgeDefault string    `xml:"edgedefault,attr"`
+	Nodes       []gmlNode `xml:"node"`
+	Edges       []gmlEdge `xml:"edge"`
+}
+
+type gmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []gmlData `xml:"data"`
+}
+
+type gmlEdge struct {
+	Source string    `xml:"source,attr"`
+	Target string    `xml:"target,attr"`
+	Data   []gmlData `xml:"data"`
+}
+
+type gmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}

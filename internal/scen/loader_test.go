@@ -1,0 +1,259 @@
+package scen
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+func openFixture(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func linkCap(t *testing.T, g *graph.Graph, a, b string) float64 {
+	t.Helper()
+	na, ok := g.NodeByName(a)
+	if !ok {
+		t.Fatalf("node %q missing", a)
+	}
+	nb, ok := g.NodeByName(b)
+	if !ok {
+		t.Fatalf("node %q missing", b)
+	}
+	id, ok := g.FindEdge(na, nb)
+	if !ok {
+		t.Fatalf("link %s–%s missing", a, b)
+	}
+	return g.Edge(id).Capacity
+}
+
+func TestReadGraphMLZooFixture(t *testing.T) {
+	g, err := ReadGraphML(openFixture(t, "zoo5.graphml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("%d nodes, want 5", g.NumNodes())
+	}
+	// The unlabeled node falls back to its id.
+	if _, ok := g.NodeByName("4"); !ok {
+		t.Error("unlabeled node should be named by its id")
+	}
+	// 6 physical links: the parallel Seattle–Denver pair merged, the
+	// self-loop dropped.
+	if got := len(g.Links()); got != 6 {
+		t.Fatalf("%d links, want 6", got)
+	}
+	cases := []struct {
+		a, b string
+		cap  float64
+	}{
+		{"Seattle", "Denver", 20},       // LinkSpeedRaw 10G, parallel edge merged: 10+10
+		{"Denver", "Chicago", 2.5},      // LinkSpeed 2.5 + units G
+		{"Chicago", "Houston", 2.48832}, // OC-48 = 48 × 51.84 Mbit/s
+		{"Houston", "Seattle", 1},       // unannotated default
+		{"Houston", "4", 0.622},         // "622 Mbps" label
+		{"4", "Seattle", 1},             // LinkSpeedRaw 1e9
+	}
+	for _, tc := range cases {
+		if got := linkCap(t, g, tc.a, tc.b); math.Abs(got-tc.cap) > 1e-9 {
+			t.Errorf("capacity(%s–%s) = %g, want %g", tc.a, tc.b, got, tc.cap)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("fixture should be strongly connected")
+	}
+}
+
+func TestReadGraphMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":      "node a\nnode b\n",
+		"no graph":     `<?xml version="1.0"?><graphml></graphml>`,
+		"no nodes":     `<graphml><graph edgedefault="undirected"></graph></graphml>`,
+		"bad endpoint": `<graphml><graph><node id="0"/><edge source="0" target="9"/></graph></graphml>`,
+		"no edges":     `<graphml><graph><node id="0"/><node id="1"/></graph></graphml>`,
+	}
+	for name, src := range cases {
+		if _, err := ReadGraphML(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSNDlibFixture(t *testing.T) {
+	g, dm, err := ReadSNDlib(openFixture(t, "tiny.snd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("%d nodes, want 4", g.NumNodes())
+	}
+	if got := len(g.Links()); got != 5 {
+		t.Fatalf("%d links, want 5", got)
+	}
+	// L1: single 40-unit module. L2: larger of the two modules, with a
+	// routing cost that becomes the OSPF weight. L3: pre-installed 2.5
+	// with an empty module list.
+	if got := linkCap(t, g, "Amsterdam", "Brussels"); got != 40 {
+		t.Errorf("L1 capacity = %g, want 40", got)
+	}
+	if got := linkCap(t, g, "Brussels", "Paris"); got != 40 {
+		t.Errorf("L2 capacity = %g, want 40", got)
+	}
+	bru, _ := g.NodeByName("Brussels")
+	par, _ := g.NodeByName("Paris")
+	if id, _ := g.FindEdge(bru, par); g.Edge(id).Weight != 3 {
+		t.Errorf("L2 weight = %g, want routing cost 3", g.Edge(id).Weight)
+	}
+	if got := linkCap(t, g, "Paris", "Frankfurt"); got != 2.5 {
+		t.Errorf("L3 capacity = %g, want pre-installed 2.5", got)
+	}
+	if dm == nil {
+		t.Fatal("DEMANDS section should yield a matrix")
+	}
+	ams, _ := g.NodeByName("Amsterdam")
+	fra, _ := g.NodeByName("Frankfurt")
+	if got := dm.At(ams, par); got != 82 {
+		t.Errorf("demand Amsterdam→Paris = %g, want 82", got)
+	}
+	if got := dm.At(bru, fra); got != 22 {
+		t.Errorf("demand Brussels→Frankfurt = %g, want 22", got)
+	}
+	if got := dm.At(par, ams); got != 40 {
+		t.Errorf("demand Paris→Amsterdam = %g, want 40", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("fixture should be strongly connected")
+	}
+}
+
+func TestReadSNDlibNoDemands(t *testing.T) {
+	src := "?SNDlib native format\nNODES (\n a ( 0 0 )\n b ( 1 1 )\n)\nLINKS (\n L1 ( a b ) 0 0 0 0 ( 10 1 )\n)\n"
+	g, dm, err := ReadSNDlib(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm != nil {
+		t.Error("no DEMANDS section should yield a nil matrix")
+	}
+	if g.NumNodes() != 2 || len(g.Links()) != 1 {
+		t.Errorf("got %v", g)
+	}
+}
+
+func TestReadSNDlibErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nodes":         "LINKS (\n L1 ( a b ) ( 1 1 )\n)\n",
+		"no links":         "NODES (\n a ( 0 0 )\n)\n",
+		"unknown endpoint": "NODES (\n a ( 0 0 )\n)\nLINKS (\n L1 ( a b ) ( 1 1 )\n)\n",
+		"unterminated":     "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ",
+		"bad demand node":  "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ) ( 1 1 )\n)\nDEMANDS (\n D1 ( a z ) 1 5 UNLIMITED\n)\n",
+		"NaN capacity":     "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ) NaN 0 0 0 ( )\n)\n",
+		"Inf module":       "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ) 0 0 0 0 ( +Inf 1 )\n)\n",
+		"NaN routing cost": "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ) 0 0 NaN 0 ( 10 1 )\n)\n",
+		"NaN demand":       "NODES (\n a ( 0 0 )\n b ( 0 0 )\n)\nLINKS (\n L1 ( a b ) ( 10 1 )\n)\nDEMANDS (\n D1 ( a b ) 1 NaN UNLIMITED\n)\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadSNDlib panicked: %v", r)
+				}
+			}()
+			if _, _, err := ReadSNDlib(strings.NewReader(src)); err == nil {
+				t.Errorf("expected error")
+			}
+		})
+	}
+}
+
+func TestReadGraphMLDirected(t *testing.T) {
+	// A directed GraphML file: antiparallel edges must stay two directed
+	// edges (not merge into one double-capacity link).
+	src := `<graphml>
+	  <key attr.name="LinkSpeedRaw" for="edge" id="d1"/>
+	  <graph edgedefault="directed">
+	    <node id="a"/><node id="b"/><node id="c"/>
+	    <edge source="a" target="b"><data key="d1">10000000000</data></edge>
+	    <edge source="b" target="a"><data key="d1">10000000000</data></edge>
+	    <edge source="b" target="c"/><edge source="c" target="a"/>
+	  </graph>
+	</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("%d directed edges, want 4", g.NumEdges())
+	}
+	if got := linkCap(t, g, "a", "b"); got != 10 {
+		t.Errorf("a→b capacity = %g, want 10 (not merged to 20)", got)
+	}
+	if got := linkCap(t, g, "b", "a"); got != 10 {
+		t.Errorf("b→a capacity = %g, want 10", got)
+	}
+}
+
+func TestReadGraphMLRejectsInfiniteSpeed(t *testing.T) {
+	// An Inf LinkSpeed annotation must fall back to the default capacity,
+	// never produce an infinite-capacity link.
+	src := `<graphml>
+	  <key attr.name="LinkSpeed" for="edge" id="d1"/>
+	  <graph edgedefault="undirected">
+	    <node id="a"/><node id="b"/>
+	    <edge source="a" target="b"><data key="d1">Infinity</data></edge>
+	  </graph>
+	</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := linkCap(t, g, "a", "b"); got != 1 {
+		t.Errorf("capacity = %g, want default 1", got)
+	}
+}
+
+func TestSniffAndReadAuto(t *testing.T) {
+	cases := []struct {
+		fixture string
+		format  Format
+	}{
+		{"zoo5.graphml", FormatGraphML},
+		{"tiny.snd", FormatSNDlib},
+	}
+	for _, tc := range cases {
+		data, err := os.ReadFile(filepath.Join("testdata", tc.fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := Sniff(data); f != tc.format {
+			t.Errorf("Sniff(%s) = %s, want %s", tc.fixture, f, tc.format)
+		}
+		g, err := ReadFile(filepath.Join("testdata", tc.fixture))
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", tc.fixture, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Errorf("ReadFile(%s): empty graph", tc.fixture)
+		}
+	}
+	if f := Sniff([]byte("node a\nnode b\nlink a b 1 1\n")); f != FormatText {
+		t.Errorf("text sniffed as %s", f)
+	}
+}

@@ -1,0 +1,90 @@
+package scen
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// Format names a topology file format ReadAuto can detect.
+type Format string
+
+const (
+	FormatText    Format = "text"    // the repo's node/link/edge format
+	FormatGraphML Format = "graphml" // Internet Topology Zoo GraphML
+	FormatSNDlib  Format = "sndlib"  // SNDlib native
+)
+
+// Sniff guesses a topology file's format from its leading bytes: XML means
+// GraphML, an SNDlib header or NODES section means SNDlib native, anything
+// else is the text format.
+func Sniff(data []byte) Format {
+	n := len(data)
+	if n > 512 {
+		n = 512
+	}
+	head := strings.TrimSpace(string(data[:n]))
+	switch {
+	case strings.HasPrefix(head, "<"):
+		return FormatGraphML
+	case strings.HasPrefix(head, "?SNDlib") || strings.Contains(head, "NODES ("):
+		return FormatSNDlib
+	default:
+		return FormatText
+	}
+}
+
+// FormatForExt maps a file extension (with dot, any case) to a Format,
+// reporting false for extensions that need content sniffing.
+func FormatForExt(ext string) (Format, bool) {
+	switch strings.ToLower(ext) {
+	case ".graphml", ".gml", ".xml":
+		return FormatGraphML, true
+	case ".snd", ".sndlib", ".native":
+		return FormatSNDlib, true
+	case ".txt", ".net":
+		return FormatText, true
+	default:
+		return FormatText, false
+	}
+}
+
+// Read parses a topology in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case FormatGraphML:
+		return ReadGraphML(r)
+	case FormatSNDlib:
+		g, _, err := ReadSNDlib(r)
+		return g, err
+	default:
+		return graph.ReadText(r)
+	}
+}
+
+// ReadAuto parses a topology whose format is detected from the content.
+func ReadAuto(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Read(bytes.NewReader(data), Sniff(data))
+}
+
+// ReadFile loads a topology file, picking the parser from the extension
+// and falling back to content sniffing for unknown ones.
+func ReadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if format, ok := FormatForExt(filepath.Ext(path)); ok {
+		return Read(f, format)
+	}
+	return ReadAuto(f)
+}

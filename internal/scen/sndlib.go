@@ -1,0 +1,294 @@
+package scen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// ReadSNDlib parses a network in the SNDlib native format [Orlowski et
+// al. 2010] — the `?SNDlib native format` files with NODES/LINKS/DEMANDS
+// sections — into a Graph plus, when a DEMANDS section is present, the
+// file's demand matrix (nil otherwise).
+//
+// A link's capacity is the larger of its pre-installed capacity and its
+// largest installable module capacity, defaulting to 1 when the file
+// specifies neither; its OSPF weight is the link's routing cost when
+// positive, else the inverse-capacity rule. All links are bidirectional
+// (SNDlib models undirected supply edges). Demands between the same pair
+// accumulate.
+func ReadSNDlib(r io.Reader) (*graph.Graph, *demand.Matrix, error) {
+	toks, err := sndTokens(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &sndParser{toks: toks}
+	g := graph.New()
+	var dm *demand.Matrix
+	type rawDemand struct {
+		s, t graph.NodeID
+		v    float64
+	}
+	var demands []rawDemand
+
+	for !p.done() {
+		section := p.next()
+		if section == "(" || section == ")" {
+			return nil, nil, fmt.Errorf("scen: sndlib: unexpected %q at top level", section)
+		}
+		if !p.accept("(") {
+			continue // e.g. the "?SNDlib native format; ..." header tokens
+		}
+		switch section {
+		case "NODES":
+			for !p.accept(")") {
+				name := p.next()
+				if name == "" {
+					return nil, nil, fmt.Errorf("scen: sndlib: unterminated NODES section")
+				}
+				g.AddNode(name)
+				if p.accept("(") { // optional ( longitude latitude )
+					p.skipGroup()
+				}
+			}
+		case "LINKS":
+			for !p.accept(")") {
+				if err := p.parseLink(g); err != nil {
+					return nil, nil, err
+				}
+			}
+		case "DEMANDS":
+			for !p.accept(")") {
+				s, t, v, err := p.parseDemand(g)
+				if err != nil {
+					return nil, nil, err
+				}
+				demands = append(demands, rawDemand{s, t, v})
+			}
+		default: // META, LINK-CONFIG, ADMISSIBLE-PATHS, ...
+			p.skipGroup()
+		}
+	}
+	if g.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("scen: sndlib: no NODES section")
+	}
+	if g.NumEdges() == 0 {
+		return nil, nil, fmt.Errorf("scen: sndlib: no LINKS section")
+	}
+	if demands != nil {
+		dm = demand.NewMatrix(g.NumNodes())
+		for _, d := range demands {
+			if d.s != d.t {
+				dm.Set(d.s, d.t, dm.At(d.s, d.t)+d.v)
+			}
+		}
+	}
+	return g, dm, nil
+}
+
+// sndTokens splits the input into words and parentheses, dropping
+// '#'-to-end-of-line comments.
+func sndTokens(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var toks []string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scen: sndlib: %w", err)
+	}
+	return toks, nil
+}
+
+type sndParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sndParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *sndParser) next() string {
+	if p.done() {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *sndParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sndParser) accept(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// skipGroup consumes a balanced "( ... )" group's remaining tokens,
+// assuming the opening paren was already consumed.
+func (p *sndParser) skipGroup() {
+	depth := 1
+	for depth > 0 && !p.done() {
+		switch p.next() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		}
+	}
+}
+
+// parseLink consumes one LINKS entry:
+//
+//	id ( source target ) preCap preCost routingCost setupCost ( modCap modCost ... )
+func (p *sndParser) parseLink(g *graph.Graph) error {
+	id := p.next()
+	if id == "" {
+		return fmt.Errorf("scen: sndlib: unterminated LINKS section")
+	}
+	if !p.accept("(") {
+		return fmt.Errorf("scen: sndlib: link %s: expected ( source target )", id)
+	}
+	src, dst := p.next(), p.next()
+	if !p.accept(")") {
+		return fmt.Errorf("scen: sndlib: link %s: malformed endpoint list", id)
+	}
+	from, ok := g.NodeByName(src)
+	if !ok {
+		return fmt.Errorf("scen: sndlib: link %s: unknown node %q", id, src)
+	}
+	to, ok := g.NodeByName(dst)
+	if !ok {
+		return fmt.Errorf("scen: sndlib: link %s: unknown node %q", id, dst)
+	}
+	// Four scalar fields, all optional in the wild (some exports stop
+	// after the endpoints): preCap preCost routingCost setupCost. A
+	// non-numeric token means the entry ended early and the next link id
+	// follows.
+	scalars := make([]float64, 0, 4)
+	for len(scalars) < 4 {
+		tok := p.peek()
+		if tok == "" || tok == "(" || tok == ")" {
+			break
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			break
+		}
+		p.next()
+		scalars = append(scalars, v)
+	}
+	capacity := 0.0
+	if len(scalars) > 0 {
+		capacity = scalars[0]
+	}
+	routingCost := 0.0
+	if len(scalars) > 2 {
+		routingCost = scalars[2]
+	}
+	// Module list: ( cap cost cap cost ... ) — take the largest module.
+	if p.accept("(") {
+		idx := 0
+		for !p.accept(")") {
+			tok := p.next()
+			if tok == "" {
+				return fmt.Errorf("scen: sndlib: link %s: unterminated module list", id)
+			}
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return fmt.Errorf("scen: sndlib: link %s: %w", id, err)
+			}
+			if idx%2 == 0 && v > capacity { // even positions are capacities
+				capacity = v
+			}
+			idx++
+		}
+	}
+	// NaN/Inf pass ParseFloat but must surface as parse errors, not as a
+	// downstream AddLink panic.
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) || math.IsNaN(routingCost) || math.IsInf(routingCost, 0) {
+		return fmt.Errorf("scen: sndlib: link %s: non-finite capacity or cost", id)
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	weight := routingCost
+	if weight <= 0 {
+		weight = linkWeight(capacity)
+	}
+	if from == to {
+		return nil // tolerate degenerate self-loop entries
+	}
+	g.AddLink(from, to, capacity, weight)
+	return nil
+}
+
+// parseDemand consumes one DEMANDS entry:
+//
+//	id ( source target ) routingUnit demandValue maxPathLength
+func (p *sndParser) parseDemand(g *graph.Graph) (graph.NodeID, graph.NodeID, float64, error) {
+	id := p.next()
+	if id == "" {
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: unterminated DEMANDS section")
+	}
+	if !p.accept("(") {
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: demand %s: expected ( source target )", id)
+	}
+	src, dst := p.next(), p.next()
+	if !p.accept(")") {
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: demand %s: malformed endpoint list", id)
+	}
+	from, ok := g.NodeByName(src)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: demand %s: unknown node %q", id, src)
+	}
+	to, ok := g.NodeByName(dst)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: demand %s: unknown node %q", id, dst)
+	}
+	value := 0.0
+	idx := 0
+	for idx < 3 && p.peek() != ")" && !p.done() {
+		// routingUnit demandValue maxPathLength — maxPathLength may be the
+		// word UNLIMITED; only position 1 matters.
+		tok := p.peek()
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			if idx == 1 {
+				value = v
+			}
+			p.next()
+			idx++
+			continue
+		}
+		if tok == "UNLIMITED" {
+			p.next()
+			idx++
+			continue
+		}
+		break // next demand id
+	}
+	if !(value >= 0) || math.IsInf(value, 1) { // NaN fails the comparison too
+		return 0, 0, 0, fmt.Errorf("scen: sndlib: demand %s: bad value %g", id, value)
+	}
+	return from, to, value, nil
+}

@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON perf-trajectory file. `make bench` pipes the
+// BenchmarkCompute* suite through it into BENCH_PR2.json so the repo's
+// performance record is diffable across PRs:
+//
+//	go test -run '^$' -bench 'BenchmarkCompute' -cpu 1,4 . | benchjson -out BENCH_PR2.json
+//
+// Each result records the benchmark name, the corpus topology it
+// computes (when derivable from the name), the worker count (the -cpu
+// value, which BenchmarkCompute maps one-to-one onto the evaluation
+// engine's worker pool), iterations, and ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Benchmark  string  `json:"benchmark"`
+	Topology   string  `json:"topology,omitempty"`
+	Workers    int     `json:"workers"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Report is the BENCH_PR2.json shape.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	Goos        string   `json:"goos,omitempty"`
+	Goarch      string   `json:"goarch,omitempty"`
+	CPU         string   `json:"cpu,omitempty"`
+	Pkg         string   `json:"pkg,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+// benchTopologies maps benchmark base names to the corpus topology they
+// measure (see bench_test.go).
+var benchTopologies = map[string]string{
+	"BenchmarkCompute":         "Geant",
+	"BenchmarkComputeNSF":      "NSF",
+	"BenchmarkComputeEndToEnd": "running-example",
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	rep := Report{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		workers := 1
+		if m[2] != "" {
+			workers, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.Atoi(m[3])
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		rep.Results = append(rep.Results, Result{
+			Benchmark:  m[1],
+			Topology:   benchTopologies[m[1]],
+			Workers:    workers,
+			Iterations: iters,
+			NsPerOp:    ns,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin (expected `go test -bench` output)"))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
