@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench smoke-examples
+.PHONY: all build test race bench fuzz-smoke smoke-examples
 
 all: build test
 
@@ -16,14 +16,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_PR2.json, the machine-readable perf trajectory:
-# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) at 1 and
-# 4 workers, parsed into JSON by internal/tools/benchjson. CI runs this on
-# every push; commit the refreshed file when the numbers move materially.
+# bench regenerates BENCH_PR3.json, the machine-readable perf trajectory:
+# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) plus the
+# online controller's warm-vs-cold recompute pair, at 1 and 4 workers,
+# parsed into JSON by internal/tools/benchjson (which also records the
+# host CPU count — the key to reading per-worker numbers on small
+# runners). CI runs this on every push; commit the refreshed file when
+# the numbers move materially.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkCompute' -benchtime 2x -cpu 1,4 . \
+	$(GO) test -run '^$$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -benchtime 2x -cpu 1,4 . \
 		| tee /dev/stderr \
-		| $(GO) run ./internal/tools/benchjson -out BENCH_PR2.json
+		| $(GO) run ./internal/tools/benchjson -o BENCH_PR3.json
+
+# fuzz-smoke runs each native fuzz target briefly — the CI gate that
+# malformed real-world topology files error instead of panicking.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadGraphML$$' -fuzztime 15s ./internal/scen
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSNDlib$$' -fuzztime 15s ./internal/scen
+	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 15s ./internal/scen
+	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime 15s ./internal/scen
 
 # smoke-examples builds and runs every examples/* binary (CI does the same
 # so examples cannot silently rot). gravitysweep is the slow one; the

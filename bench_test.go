@@ -199,6 +199,69 @@ func BenchmarkComputeEndToEnd(b *testing.B) {
 	}
 }
 
+// warmBenchBoxes builds the two demand boxes the recompute benchmarks
+// alternate between, simulating a drifting operator view on Geant.
+func warmBenchBoxes(b *testing.B) (*coyote.Topology, [2]*coyote.Bounds) {
+	b.Helper()
+	topo, err := coyote.LoadTopology("Geant")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := coyote.GravityDemands(topo, 1)
+	shifted := coyote.GravityDemands(topo, 1.15)
+	return topo, [2]*coyote.Bounds{
+		coyote.MarginBounds(base, 2),
+		coyote.MarginBounds(shifted, 2.2),
+	}
+}
+
+// BenchmarkWarmRecompute measures the online controller's incremental
+// path: one Session absorbing alternating demand-box updates, each
+// recompute warm-starting from the previous log-ratio/Adam state with the
+// adversary's critical matrices carried over and OPTDAG normalizations
+// cached. Compare with BenchmarkColdRecompute — the same sequence of
+// boxes, each paying the full batch pipeline from scratch.
+func BenchmarkWarmRecompute(b *testing.B) {
+	quick := exp.Quick()
+	topo, boxes := warmBenchBoxes(b)
+	s, err := coyote.NewSession(topo, boxes[0], coyote.Options{
+		OptimizerIters:   quick.OptIters,
+		AdversarialIters: quick.AdvIters,
+		Samples:          quick.Samples,
+		Eps:              quick.Eps,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.UpdateBounds(boxes[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdRecompute is the batch-pipeline reference for
+// BenchmarkWarmRecompute: the identical alternating boxes, recomputed cold
+// (full Compute) every time.
+func BenchmarkColdRecompute(b *testing.B) {
+	quick := exp.Quick()
+	topo, boxes := warmBenchBoxes(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coyote.New(topo, boxes[(i+1)%2], coyote.Options{
+			OptimizerIters:   quick.OptIters,
+			AdversarialIters: quick.AdvIters,
+			Samples:          quick.Samples,
+			Eps:              quick.Eps,
+			Seed:             1,
+		}).Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFailover measures precomputing per-link failure configurations
 // (§VI-A) on NSF.
 func BenchmarkFailover(b *testing.B) {

@@ -11,6 +11,7 @@
 //	coyote-scen convert -in Geant.graphml [-dot]
 //	coyote-scen sweep -gen fattree -k 4 -demand hotspot -margins 1,2,3
 //	coyote-scen sweep -in abilene.snd -demand gravity -quick
+//	coyote-scen sweep -gen ring -n 8 -quick -json   # machine-readable table
 //
 // Every generator is deterministic: the same flags always produce the
 // byte-identical topology.
@@ -159,6 +160,7 @@ func runSweep(args []string) error {
 	margins := fs.String("margins", "1,1.5,2,2.5,3", "comma-separated uncertainty margins")
 	quick := fs.Bool("quick", false, "use the reduced (smoke-test) configuration")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = one per CPU; results identical for any value)")
+	jsonOut := fs.Bool("json", false, "emit the sweep table as JSON ({title, columns, rows}) instead of text")
 	fs.Parse(args)
 
 	cfg := exp.Default()
@@ -194,6 +196,9 @@ func runSweep(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return tab.WriteJSON(os.Stdout)
 	}
 	_, err = tab.WriteTo(os.Stdout)
 	return err

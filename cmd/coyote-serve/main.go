@@ -1,0 +1,131 @@
+// Command coyote-serve runs the online TE controller: a long-lived COYOTE
+// session behind an HTTP/JSON API (internal/serve). Point it at a corpus
+// topology, a real topology file (GraphML / SNDlib / text), or a generated
+// scenario, then drive it with demand updates and failure events; every
+// mutation recomputes incrementally (warm-started optimization,
+// critical-matrix carry-over, failover swap-and-refine) and the lie
+// endpoint reports reconfiguration churn as minimal LSA diffs.
+//
+// Usage:
+//
+//	coyote-serve -topo Geant -margin 2
+//	coyote-serve -topo-file Geant.graphml -demand hotspot -addr :8080
+//	coyote-serve -gen waxman -n 20 -seed 7 -quick -failover
+//
+// Then, from another terminal:
+//
+//	curl localhost:8080/state
+//	curl -X POST localhost:8080/update  -d '{"scale":1.3}'
+//	curl -X POST localhost:8080/fail    -d '{"from":"v0","to":"v1"}'
+//	curl localhost:8080/lies?extra=3
+//	curl -X POST localhost:8080/recover -d '{"from":"v0","to":"v1"}'
+//	curl localhost:8080/stats
+//	curl -N localhost:8080/events        # live SSE stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/delta"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/scen"
+	"github.com/coyote-te/coyote/internal/serve"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+func main() {
+	topoName := flag.String("topo", "", "corpus topology name (see 'coyote-scen list')")
+	topoFile := flag.String("topo-file", "", "topology file (GraphML, SNDlib native, or text)")
+	gen := flag.String("gen", "", "generator name (waxman, ba, fattree, grid, ring)")
+	n := flag.Int("n", 20, "node count (waxman, ba, ring)")
+	k := flag.Int("k", 4, "fat-tree arity")
+	rows := flag.Int("rows", 4, "grid rows")
+	cols := flag.Int("cols", 5, "grid cols")
+	seed := flag.Int64("seed", 1, "generator / optimizer seed")
+	model := flag.String("demand", "gravity", "base demand model")
+	margin := flag.Float64("margin", 2, "uncertainty margin (≤ 0 for full demand obliviousness)")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = one per CPU; results identical for any value)")
+	quick := flag.Bool("quick", false, "reduced optimization effort (fast startup)")
+	failoverPlan := flag.Bool("failover", false, "precompute per-link failover configurations at startup")
+	flag.Parse()
+
+	g, name, err := buildTopology(*topoName, *topoFile, *gen, scen.Params{
+		N: *n, K: *k, Rows: *rows, Cols: *cols, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatalln("coyote-serve:", err)
+	}
+
+	var box *demand.Box
+	if *margin <= 0 {
+		box = demand.ObliviousBox(g.NumNodes(), 1)
+	} else {
+		base, err := scen.BaseMatrix(g, *model, 1, *seed)
+		if err != nil {
+			log.Fatalln("coyote-serve:", err)
+		}
+		box = demand.MarginBox(base, *margin)
+	}
+
+	effort := exp.Default()
+	if *quick {
+		effort = exp.Quick()
+	}
+	cfg := delta.Config{
+		OptIters:           effort.OptIters,
+		AdvIters:           effort.AdvIters,
+		Samples:            effort.Samples,
+		Eps:                effort.Eps,
+		Seed:               *seed,
+		Workers:            *workers,
+		PrecomputeFailover: *failoverPlan,
+	}
+
+	log.Printf("coyote-serve: computing initial configuration for %s (%d nodes, %d links)...",
+		name, g.NumNodes(), len(g.Links()))
+	start := time.Now()
+	ses, err := delta.NewSession(g, box, cfg)
+	if err != nil {
+		log.Fatalln("coyote-serve:", err)
+	}
+	log.Printf("coyote-serve: ready in %v — PERF %.3f (ECMP %.3f)",
+		time.Since(start).Round(time.Millisecond), ses.Perf(), ses.ECMPPerf())
+	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events; POST /update /fail /recover)", *addr)
+	log.Fatalln("coyote-serve:", http.ListenAndServe(*addr, serve.New(ses).Handler()))
+}
+
+// buildTopology resolves exactly one of the three topology sources.
+func buildTopology(topoName, topoFile, gen string, p scen.Params) (*graph.Graph, string, error) {
+	sources := 0
+	for _, set := range []bool{topoName != "", topoFile != "", gen != ""} {
+		if set {
+			sources++
+		}
+	}
+	switch {
+	case sources > 1:
+		return nil, "", fmt.Errorf("use only one of -topo, -topo-file, -gen")
+	case topoName != "":
+		g, err := topo.Load(topoName)
+		return g, topoName, err
+	case topoFile != "":
+		g, err := scen.ReadFile(topoFile)
+		return g, topoFile, err
+	case gen != "":
+		g, err := scen.Generate(gen, p)
+		return g, fmt.Sprintf("%s-n%d-seed%d", gen, p.N, p.Seed), err
+	default:
+		fmt.Fprintln(os.Stderr, "coyote-serve: one of -topo, -topo-file, -gen is required")
+		flag.Usage()
+		os.Exit(2)
+		return nil, "", nil
+	}
+}

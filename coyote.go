@@ -87,6 +87,11 @@ func (t *Topology) NodeName(id NodeID) string { return t.g.Name(id) }
 // Node finds a router by name.
 func (t *Topology) Node(name string) (NodeID, bool) { return t.g.NodeByName(name) }
 
+// Link finds the directed edge from a to b, if one exists — the handle
+// Session.Fail and Session.Recover take (either direction of a
+// bidirectional link identifies it).
+func (t *Topology) Link(a, b NodeID) (EdgeID, bool) { return t.g.FindEdge(a, b) }
+
 // Validate checks structural invariants (positive capacities and weights,
 // consistent reverse links) and strong connectivity.
 func (t *Topology) Validate() error {
@@ -153,6 +158,11 @@ type Options struct {
 	// worker per available CPU. For a fixed Seed the computed
 	// configuration is bit-identical for every Workers value.
 	Workers int
+	// PrecomputeFailover (sessions only, ignored by Compute) precomputes
+	// a configuration for every single-link failure at session start, so
+	// Session.Fail swaps it in and merely refines instead of
+	// re-optimizing the survivor from scratch.
+	PrecomputeFailover bool
 }
 
 // Engine computes COYOTE configurations for one topology and uncertainty
@@ -222,11 +232,13 @@ func (e *Engine) Compute() (*Config, error) {
 		AdvIters:  e.opts.AdversarialIters,
 		Workers:   e.opts.Workers,
 	})
-	ecmp := ev.Perf(oblivious.ECMPOnDAGs(g, dags))
 	return &Config{
-		Routing:  routing,
-		Perf:     rep.Perf.Ratio,
-		ECMPPerf: ecmp.Ratio,
+		Routing: routing,
+		Perf:    rep.Perf.Ratio,
+		// The no-worse-than-ECMP guarantee already evaluated ECMP with the
+		// same adversary; reusing that value keeps Perf ≤ ECMPPerf exact
+		// even when the ECMP fallback was taken.
+		ECMPPerf: rep.ECMPPerf,
 		Weights:  g.Weights(),
 		topo:     &Topology{g: g},
 	}, nil

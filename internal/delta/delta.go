@@ -1,0 +1,639 @@
+// Package delta is the incremental recomputation engine of the online TE
+// controller: a long-lived Session over one topology whose configuration
+// evolves as the network does, without paying the full adversarial-loop
+// cost on every change.
+//
+// Three mechanisms make recomputation cheap (DESIGN.md §6):
+//
+//   - Warm-started optimization: the gpopt log-ratio parameters and Adam
+//     moments survive across recomputes (gpopt.State), so a demand-box
+//     update refines the previous solution instead of restarting from the
+//     near-ECMP initialization.
+//   - Critical-matrix carry-over: the worst-case demand matrices the
+//     adversary accumulated (oblivious.Report.Critical) seed the next
+//     recompute's finite scenario set, so adversarial corners that still
+//     bind are not re-discovered round by round. OPTDAG normalizations are
+//     shared across demand updates via oblivious.Evaluator.WithBox.
+//   - Failover swap-then-refine: single-link failures swap in the
+//     precomputed configuration (failover.PrecomputeGroups), re-seed the
+//     optimizer from its ratios (gpopt.NewFromRouting), and refine with a
+//     short warm run.
+//
+// Every Session mutation synthesizes nothing by itself; Lies produces the
+// fake-node LSAs for the current configuration and — via fibbing.Diff —
+// the minimal LSA add/remove/update set against the previously emitted
+// lie set, making reconfiguration churn a first-class measured metric.
+//
+// The Session preserves the repo's determinism contract: for a fixed Seed
+// and a fixed sequence of mutations, results are bit-identical for any
+// Workers value.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/failover"
+	"github.com/coyote-te/coyote/internal/fibbing"
+	"github.com/coyote-te/coyote/internal/gpopt"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/wcmp"
+)
+
+// maxCarriedCritical bounds the critical-matrix set carried across
+// recomputes; the oldest matrices are dropped first (the adversary will
+// re-discover them if they still bind). The bound also caps the per-step
+// cost of the warm optimizer, whose gradient passes are linear in the
+// scenario count.
+const maxCarriedCritical = 32
+
+// Config tunes a Session. The zero value uses the cold defaults of the
+// batch pipeline and derives reduced warm settings from them.
+type Config struct {
+	// OptIters / AdvIters / Samples / Eps / Seed mirror the batch
+	// pipeline's knobs (coyote.Options) and govern the initial cold
+	// computation and any cold restarts.
+	OptIters int     // optimizer gradient steps, cold (default 400)
+	AdvIters int     // adversarial rounds, cold (default 6)
+	Samples  int     // adversary corner samples (default 8)
+	Eps      float64 // FPTAS accuracy (default 0.1)
+	Seed     int64
+	// WarmOptIters / WarmAdvIters govern warm recomputes (demand updates,
+	// post-failover refinement). Defaults: OptIters/2 and max(2,
+	// AdvIters/3).
+	WarmOptIters int
+	WarmAdvIters int
+	// Workers bounds the evaluation engine's worker pool (≤ 0 =
+	// GOMAXPROCS); never changes results.
+	Workers int
+	// PrecomputeFailover, when true, precomputes a configuration for every
+	// single-link failure at session start (§VI-A: "routing configurations
+	// for failure scenarios can be precomputed"), so Fail swaps it in and
+	// merely refines.
+	PrecomputeFailover bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.OptIters <= 0 {
+		c.OptIters = 400
+	}
+	if c.AdvIters <= 0 {
+		c.AdvIters = 6
+	}
+	if c.WarmOptIters <= 0 {
+		c.WarmOptIters = c.OptIters / 2
+	}
+	if c.WarmAdvIters <= 0 {
+		c.WarmAdvIters = c.AdvIters / 3
+		if c.WarmAdvIters < 2 {
+			c.WarmAdvIters = 2
+		}
+	}
+	return c
+}
+
+// EventKind labels a Session state transition.
+type EventKind string
+
+const (
+	EventInit    EventKind = "init"    // initial cold computation
+	EventUpdate  EventKind = "update"  // demand-box update
+	EventFail    EventKind = "fail"    // link failure
+	EventRecover EventKind = "recover" // link recovery
+	EventLies    EventKind = "lies"    // lie synthesis + diff emission
+)
+
+// Event records one Session transition — the controller's stats stream.
+type Event struct {
+	Seq    int       `json:"seq"`
+	Kind   EventKind `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+	// Warm reports whether the recompute reused previous optimizer state
+	// (as opposed to a cold restart).
+	Warm bool `json:"warm"`
+	// Perf / ECMPPerf are the post-transition worst-case normalized
+	// utilizations (unset for lies events).
+	Perf     float64 `json:"perf,omitempty"`
+	ECMPPerf float64 `json:"ecmp_perf,omitempty"`
+	// OuterIters and Scenarios describe the adversarial loop's effort.
+	OuterIters int `json:"outer_iters,omitempty"`
+	Scenarios  int `json:"scenarios,omitempty"`
+	// Churn counts LSAs touched (lies events): adds + removes + updates.
+	Churn int `json:"churn"`
+	// FakeNodes is the total lie count after a lies event.
+	FakeNodes int `json:"fake_nodes,omitempty"`
+	// Elapsed is the wall-clock cost of the transition (not part of the
+	// determinism contract).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// LieResult is the outcome of Session.Lies: the verified synthesis for the
+// current configuration plus the minimal diff against the previously
+// emitted lie set.
+type LieResult struct {
+	// Quantized is the routing the lies actually realize.
+	Quantized *pdrouting.Routing
+	// VirtualLinks counts next-hop replicas beyond the first.
+	VirtualLinks int
+	// FakeNodes counts fake-node LSAs in the full synthesis.
+	FakeNodes int
+	// LiedDestinations counts destinations that needed lies.
+	LiedDestinations int
+	// Synthesis is the verified full LSDB augmentation.
+	Synthesis *fibbing.Synthesis
+	// Diff is the minimal LSA set transforming the previously emitted
+	// synthesis into this one (a full injection on first call), verified
+	// against the current topology.
+	Diff *fibbing.LSADiff
+}
+
+// Session is a live controller state over one topology. All methods are
+// safe for concurrent use; mutations are serialized.
+type Session struct {
+	mu  sync.Mutex
+	cfg Config
+
+	base     *graph.Graph // the intact topology
+	baseDags []*dagx.DAG
+	box      *demand.Box
+	failed   map[graph.EdgeID]bool // failed links, by base representative edge ID
+
+	// Current epoch (base or survivor topology).
+	cur       *graph.Graph
+	dags      []*dagx.DAG
+	ev        *oblivious.Evaluator
+	opt       *gpopt.Optimizer
+	critical  []*demand.Matrix
+	routing   *pdrouting.Routing
+	perf      float64
+	ecmpPerf  float64
+	lastOuter int // outer iterations of the most recent reoptimize
+
+	// normalState snapshots the optimizer parameters of the latest
+	// base-topology recompute, so a recovery back to the intact network
+	// warm-starts from them (gpopt's exported state handoff).
+	normalState *gpopt.State
+	// baseEv is the most recent base-epoch evaluator; recovering to the
+	// intact topology derives the new evaluator from it (WithBox), so the
+	// OPTDAG/max-flow caches paid for before the failure are kept.
+	baseEv *oblivious.Evaluator
+
+	// plan holds precomputed single-link failover configurations keyed by
+	// the failed base link.
+	plan map[graph.EdgeID]*failover.GroupScenario
+
+	prevSyn *fibbing.Synthesis // last emitted lie set, diff baseline
+	events  []Event
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewSession validates the topology and bounds, runs the initial cold
+// computation, and (optionally) precomputes the single-link failover plan.
+func NewSession(g *graph.Graph, box *demand.Box, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("delta: topology is not strongly connected")
+	}
+	if box == nil {
+		return nil, fmt.Errorf("delta: nil uncertainty bounds")
+	}
+	if box.Min.N != g.NumNodes() {
+		return nil, fmt.Errorf("delta: bounds are %d×%d but topology has %d nodes",
+			box.Min.N, box.Min.N, g.NumNodes())
+	}
+	s := &Session{
+		cfg:    cfg,
+		base:   g,
+		box:    box,
+		failed: make(map[graph.EdgeID]bool),
+		subs:   make(map[int]chan Event),
+	}
+	start := time.Now()
+	s.baseDags = dagx.BuildAll(g, dagx.Augmented)
+	s.cur = g
+	s.dags = s.baseDags
+	s.ev = oblivious.NewEvaluator(g, s.dags, box, s.evalConfig())
+	s.baseEv = s.ev
+	s.reoptimize(false, nil)
+	s.record(Event{
+		Kind:       EventInit,
+		Perf:       s.perf,
+		ECMPPerf:   s.ecmpPerf,
+		OuterIters: s.lastOuter,
+		Scenarios:  len(s.critical),
+		Elapsed:    time.Since(start),
+	})
+
+	if cfg.PrecomputeFailover {
+		links := g.Links()
+		groups := make([][]graph.EdgeID, len(links))
+		for i, id := range links {
+			groups[i] = []graph.EdgeID{id}
+		}
+		scens, err := failover.PrecomputeGroups(g, box, groups, failover.Config{
+			OptIters: cfg.WarmOptIters,
+			AdvIters: cfg.WarmAdvIters,
+			Samples:  cfg.Samples,
+			Eps:      cfg.Eps,
+			Seed:     cfg.Seed,
+			Workers:  cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.plan = make(map[graph.EdgeID]*failover.GroupScenario, len(links))
+		for i := range scens {
+			s.plan[links[i]] = &scens[i]
+		}
+	}
+	return s, nil
+}
+
+func (s *Session) evalConfig() oblivious.EvalConfig {
+	return oblivious.EvalConfig{
+		Eps:     s.cfg.Eps,
+		Samples: s.cfg.Samples,
+		Seed:    s.cfg.Seed,
+		Workers: s.cfg.Workers,
+	}
+}
+
+// reoptimize runs the adversarial loop on the current epoch. warm selects
+// the reduced warm effort; seed, when non-nil, replaces the optimizer (the
+// failover swap path). It updates routing/perf/critical/opt and, on the
+// base topology, snapshots normalState.
+func (s *Session) reoptimize(warm bool, seed *gpopt.Optimizer) {
+	iters, adv := s.cfg.OptIters, s.cfg.AdvIters
+	if warm {
+		iters, adv = s.cfg.WarmOptIters, s.cfg.WarmAdvIters
+	}
+	opts := oblivious.Options{
+		Optimizer: gpopt.Config{Iters: iters},
+		AdvIters:  adv,
+		Workers:   s.cfg.Workers,
+		Carry:     projectOntoBox(s.critical, s.box),
+	}
+	if seed != nil {
+		opts.Warm = seed
+	} else if s.opt != nil {
+		opts.Warm = s.opt
+	}
+	routing, rep := oblivious.OptimizeWithEvaluator(s.cur, s.dags, s.ev, opts)
+	s.routing = routing
+	s.perf = rep.Perf.Ratio
+	s.ecmpPerf = rep.ECMPPerf
+	s.opt = rep.Warm
+	s.critical = rep.Critical
+	if len(s.critical) > maxCarriedCritical {
+		s.critical = append([]*demand.Matrix(nil), s.critical[len(s.critical)-maxCarriedCritical:]...)
+	}
+	s.lastOuter = rep.OuterIters
+	if s.cur == s.base {
+		s.normalState = s.opt.ExportState()
+	}
+}
+
+// projectOntoBox clamps each carried critical matrix onto the current
+// uncertainty box, entry by entry. Critical matrices discovered under an
+// earlier box are typically its corners; after a demand drift they may lie
+// outside the new box, and seeding the optimizer with infeasible demands
+// would make it hedge against traffic that can no longer occur. The
+// projection of an old adversarial corner is usually still adversarial —
+// exactly the "corners that still bind" the carry-over exists for.
+// Matrices already inside the box pass through unchanged (no copy).
+func projectOntoBox(critical []*demand.Matrix, box *demand.Box) []*demand.Matrix {
+	out := make([]*demand.Matrix, 0, len(critical))
+	for _, D := range critical {
+		if D.N != box.Min.N {
+			continue
+		}
+		var proj *demand.Matrix
+		for i, v := range D.D {
+			lo, hi := box.Min.D[i], box.Max.D[i]
+			if v >= lo && v <= hi {
+				continue
+			}
+			if proj == nil {
+				proj = D.Clone()
+			}
+			if v < lo {
+				proj.D[i] = lo
+			} else {
+				proj.D[i] = hi
+			}
+		}
+		if proj != nil {
+			out = append(out, proj)
+		} else {
+			out = append(out, D)
+		}
+	}
+	return out
+}
+
+// record appends an event (stamping its sequence number) and notifies
+// subscribers without blocking.
+func (s *Session) record(e Event) Event {
+	e.Seq = len(s.events)
+	s.events = append(s.events, e)
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop rather than stall the controller
+		}
+	}
+	return e
+}
+
+// UpdateBounds replaces the demand uncertainty set and recomputes the
+// configuration with a warm start: the optimizer's log-ratio/Adam state
+// and the accumulated critical matrices carry over, and the new evaluator
+// shares the previous OPTDAG cache (the normalizations depend only on the
+// topology and DAGs, not the box).
+func (s *Session) UpdateBounds(box *demand.Box) (Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if box == nil {
+		return Event{}, fmt.Errorf("delta: nil uncertainty bounds")
+	}
+	if box.Min.N != s.base.NumNodes() {
+		return Event{}, fmt.Errorf("delta: bounds are %d×%d but topology has %d nodes",
+			box.Min.N, box.Min.N, s.base.NumNodes())
+	}
+	start := time.Now()
+	s.box = box
+	s.ev = s.ev.WithBox(box)
+	if s.cur == s.base {
+		s.baseEv = s.ev
+	}
+	s.reoptimize(true, nil)
+	return s.record(Event{
+		Kind:       EventUpdate,
+		Warm:       true,
+		Perf:       s.perf,
+		ECMPPerf:   s.ecmpPerf,
+		OuterIters: s.lastOuter,
+		Scenarios:  len(s.critical),
+		Elapsed:    time.Since(start),
+	}), nil
+}
+
+// representative normalizes a directed edge ID of the base topology to its
+// physical-link representative (the lower-numbered direction).
+func (s *Session) representative(id graph.EdgeID) (graph.EdgeID, error) {
+	if int(id) < 0 || int(id) >= s.base.NumEdges() {
+		return 0, fmt.Errorf("delta: unknown link %d", id)
+	}
+	e := s.base.Edge(id)
+	if e.Reverse >= 0 && e.Reverse < id {
+		return e.Reverse, nil
+	}
+	return id, nil
+}
+
+// Fail marks a base-topology link as failed and recomputes on the
+// surviving topology. With a precomputed failover plan the planned
+// configuration is swapped in and refined warm; otherwise the survivor is
+// re-optimized cold (with carried critical matrices). Failing a link whose
+// removal partitions the network is rejected and leaves the session
+// unchanged.
+func (s *Session) Fail(link graph.EdgeID) (Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.representative(link)
+	if err != nil {
+		return Event{}, err
+	}
+	if s.failed[rep] {
+		return Event{}, fmt.Errorf("delta: link %d already failed", rep)
+	}
+	s.failed[rep] = true
+	ev, err := s.rebuildEpoch(EventFail, rep)
+	if err != nil {
+		delete(s.failed, rep)
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// Recover clears a failed link and recomputes. Recovering back to the
+// intact topology warm-starts from the last base-epoch optimizer state.
+func (s *Session) Recover(link graph.EdgeID) (Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, err := s.representative(link)
+	if err != nil {
+		return Event{}, err
+	}
+	if !s.failed[rep] {
+		return Event{}, fmt.Errorf("delta: link %d is not failed", rep)
+	}
+	delete(s.failed, rep)
+	ev, err := s.rebuildEpoch(EventRecover, rep)
+	if err != nil {
+		s.failed[rep] = true
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// failedList returns the failed links in deterministic (ascending) order.
+func (s *Session) failedList() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(s.failed))
+	for id := range s.failed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rebuildEpoch recomputes after the failed-link set changed. The link
+// argument is the edge that changed state (for the event detail).
+func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error) {
+	start := time.Now()
+	e := s.base.Edge(link)
+	detail := fmt.Sprintf("%s–%s", s.base.Name(e.From), s.base.Name(e.To))
+
+	if len(s.failed) == 0 {
+		// Back to the intact topology: reuse the base DAGs and warm-start
+		// from the snapshot of the last base-epoch parameters.
+		s.cur = s.base
+		s.dags = s.baseDags
+		// Derive the evaluator from the last base-epoch one: the OPTDAG
+		// and max-flow caches depend only on (graph, DAGs), so everything
+		// paid for before the failure is still valid.
+		s.ev = s.baseEv.WithBox(s.box)
+		s.baseEv = s.ev
+		var seed *gpopt.Optimizer
+		if s.normalState != nil {
+			seed = gpopt.New(s.base, s.dags, gpopt.Config{Iters: s.cfg.WarmOptIters})
+			if err := seed.ImportState(s.normalState); err != nil {
+				seed = nil
+			}
+		}
+		s.opt = nil // epoch changed: the failure-epoch optimizer cannot carry
+		s.reoptimize(seed != nil, seed)
+		return s.record(Event{
+			Kind: kind, Detail: detail, Warm: seed != nil,
+			Perf: s.perf, ECMPPerf: s.ecmpPerf,
+			OuterIters: s.lastOuter, Scenarios: len(s.critical),
+			Elapsed: time.Since(start),
+		}), nil
+	}
+
+	survivor := s.base.WithoutLinks(s.failedList())
+	if !survivor.Connected() {
+		return Event{}, fmt.Errorf("delta: failing %s would partition the network", detail)
+	}
+	dags := dagx.BuildAll(survivor, dagx.Augmented)
+
+	// Failover swap: a precomputed single-link scenario provides the
+	// post-failure configuration to refine from. Its survivor graph is the
+	// deterministic WithoutLinks reconstruction, so edge IDs align.
+	var seed *gpopt.Optimizer
+	if kind == EventFail && len(s.failed) == 1 {
+		if sc, ok := s.plan[link]; ok && !sc.Disconnected && sc.Routing != nil {
+			seed = gpopt.NewFromRouting(survivor, dags, gpopt.Config{Iters: s.cfg.WarmOptIters}, sc.Routing)
+		}
+	}
+
+	s.cur = survivor
+	s.dags = dags
+	s.ev = oblivious.NewEvaluator(survivor, dags, s.box, s.evalConfig())
+	s.opt = nil // fresh epoch: previous optimizer indexes the old edge IDs
+	s.reoptimize(seed != nil, seed)
+	return s.record(Event{
+		Kind: kind, Detail: detail, Warm: seed != nil,
+		Perf: s.perf, ECMPPerf: s.ecmpPerf,
+		OuterIters: s.lastOuter, Scenarios: len(s.critical),
+		Elapsed: time.Since(start),
+	}), nil
+}
+
+// Lies synthesizes the fake-node LSAs realizing the current configuration
+// (quantized to extraPerInterface virtual next-hops per interface),
+// verifies them, and computes the minimal LSA diff against the previously
+// emitted lie set. The diff itself is verified: applying it to the
+// previous synthesis must reproduce the new forwarding exactly. The new
+// synthesis becomes the next diff baseline.
+func (s *Session) Lies(extraPerInterface int) (*LieResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	q, err := wcmp.Apply(s.routing, extraPerInterface)
+	if err != nil {
+		return nil, err
+	}
+	syn, err := fibbing.Synthesize(s.cur, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := fibbing.Verify(s.cur, q, syn); err != nil {
+		return nil, fmt.Errorf("delta: lie verification failed: %w", err)
+	}
+	diff := fibbing.Diff(s.prevSyn, syn)
+	if err := fibbing.VerifyDiff(s.cur, s.prevSyn, diff, syn); err != nil {
+		return nil, fmt.Errorf("delta: diff verification failed: %w", err)
+	}
+	s.prevSyn = syn
+	s.record(Event{
+		Kind:      EventLies,
+		Churn:     diff.Churn(),
+		FakeNodes: syn.FakeNodes,
+		Elapsed:   time.Since(start),
+	})
+	return &LieResult{
+		Quantized:        q.Routing,
+		VirtualLinks:     q.VirtualLinks,
+		FakeNodes:        syn.FakeNodes,
+		LiedDestinations: len(syn.LiedDestinations),
+		Synthesis:        syn,
+		Diff:             diff,
+	}, nil
+}
+
+// Routing returns the current per-destination routing. The returned value
+// must be treated as read-only.
+func (s *Session) Routing() *pdrouting.Routing {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.routing
+}
+
+// Perf returns the current worst-case normalized utilization.
+func (s *Session) Perf() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perf
+}
+
+// ECMPPerf returns traditional ECMP's worst-case normalized utilization on
+// the current epoch (same DAGs and uncertainty set).
+func (s *Session) ECMPPerf() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ecmpPerf
+}
+
+// Graph returns the current (possibly degraded) topology.
+func (s *Session) Graph() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Base returns the intact topology the session was created with.
+func (s *Session) Base() *graph.Graph { return s.base }
+
+// Bounds returns the current uncertainty set.
+func (s *Session) Bounds() *demand.Box {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.box
+}
+
+// FailedLinks lists the currently failed links (base representative edge
+// IDs, ascending).
+func (s *Session) FailedLinks() []graph.EdgeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failedList()
+}
+
+// Events returns a copy of the full event log.
+func (s *Session) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Subscribe registers a listener for future events. The returned cancel
+// function must be called to release the subscription. Events are
+// delivered best-effort: a subscriber that falls behind misses events
+// rather than stalling the controller.
+func (s *Session) Subscribe() (<-chan Event, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan Event, 16)
+	s.subs[id] = ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
+}

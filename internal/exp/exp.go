@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -16,10 +17,12 @@ import (
 )
 
 // Table is the uniform output shape of every experiment: a titled grid.
+// The JSON tags define the machine-readable form WriteJSON (and the -json
+// flag of cmd/coyote-scen) emits.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.
@@ -70,6 +73,15 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	}
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
+}
+
+// WriteJSON renders the table as indented JSON — the same shape as the
+// struct ({"title", "columns", "rows"}), for machine consumption of sweep
+// results.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // f2 formats a ratio the way the paper's tables do (two decimals).

@@ -2,10 +2,13 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/coyote-te/coyote/internal/scen"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -21,8 +24,51 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableWriteJSON(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Title != "demo" || len(decoded.Columns) != 2 || len(decoded.Rows) != 1 {
+		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+	if !strings.Contains(buf.String(), `"title"`) {
+		t.Fatalf("expected lowercase JSON keys:\n%s", buf.String())
+	}
+}
+
+func TestServeDriftSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift replay in -short mode")
+	}
+	cfg := Quick()
+	tab, err := ServeDrift(scen.Params{Rows: 3, Cols: 3}, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		warm := cell(t, tab, i, 1)
+		cold := cell(t, tab, i, 2)
+		// Warm incremental recompute must stay within a few percent of the
+		// cold batch recompute on the same box (acceptance bound is 1% at
+		// full effort; quick effort gets slack).
+		if warm > cold*1.05 {
+			t.Errorf("step %s: warm PERF %g much worse than cold %g", row[0], warm, cold)
+		}
+	}
+}
+
 func TestRegistryIDs(t *testing.T) {
-	want := []string{"ablation-adv", "ablation-dag", "failover", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "negative-np", "negative-path", "running", "scen-ba", "scen-fattree", "scen-grid-day", "scen-srlg", "scen-waxman", "table1"}
+	want := []string{"ablation-adv", "ablation-dag", "failover", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "negative-np", "negative-path", "running", "scen-ba", "scen-fattree", "scen-grid-day", "scen-srlg", "scen-waxman", "serve-drift", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

@@ -64,6 +64,11 @@ var registry = map[string]Runner{
 	"scen-srlg": func(cfg Config) (*Table, error) {
 		return ScenSRLG(scen.Params{N: 10, M: 4}, 5, cfg)
 	},
+	// Online-controller drift replay (internal/delta): warm incremental
+	// recomputation vs cold batch recomputation over a day of demand.
+	"serve-drift": func(cfg Config) (*Table, error) {
+		return ServeDrift(scen.Params{Rows: 3, Cols: 4}, 8, cfg)
+	},
 }
 
 // IDs returns the registered experiment IDs, sorted.
@@ -103,6 +108,8 @@ var ErrUnknownID = errors.New("unknown experiment ID")
 //	scen-fattree   — hotspot-demand sweep on a k=4 fat-tree fabric
 //	scen-grid-day  — time-of-day sequence vs one static config (grid WAN)
 //	scen-srlg      — shared-risk link-group failures on a ring WAN
+//	serve-drift    — online controller: warm vs cold recompute over a
+//	                 time-of-day drift, with LSA churn per step
 //
 // An unregistered ID yields an error wrapping ErrUnknownID that lists the
 // valid IDs.

@@ -1,0 +1,136 @@
+package gpopt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// diamond builds the four-node running-example-style network.
+func diamond() *graph.Graph {
+	g := graph.New()
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	g.AddLink(a, b, 1, 1)
+	g.AddLink(a, c, 1, 1)
+	g.AddLink(b, d, 1, 1)
+	g.AddLink(c, d, 1, 1)
+	g.AddLink(b, c, 1, 1)
+	return g
+}
+
+func testScenarios(g *graph.Graph) []Scenario {
+	D := demand.Gravity(g, 1)
+	return []Scenario{NewScenario(g, D, 1)}
+}
+
+func TestExportImportStateRoundTrip(t *testing.T) {
+	g := diamond()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	scen := testScenarios(g)
+
+	o := New(g, dags, Config{Iters: 40})
+	o.Run(scen)
+	st := o.ExportState()
+
+	// A fresh optimizer with the imported state must produce the identical
+	// routing and continue identically.
+	o2 := New(g, dags, Config{Iters: 40})
+	if err := o2.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := o.Routing(), o2.Routing()
+	for dst := range r1.Phi {
+		for e := range r1.Phi[dst] {
+			if r1.Phi[dst][e] != r2.Phi[dst][e] {
+				t.Fatalf("Phi[%d][%d]: %v != %v after state import", dst, e, r1.Phi[dst][e], r2.Phi[dst][e])
+			}
+		}
+	}
+	v1 := o.Run(scen)
+	v2 := o2.Run(scen)
+	if v1 != v2 {
+		t.Fatalf("continued runs diverge: %v vs %v", v1, v2)
+	}
+
+	// Exported state is a deep copy: mutating it must not leak back.
+	st2 := o.ExportState()
+	st2.Theta[0][0] += 100
+	if o.theta[0][0] == st2.Theta[0][0] {
+		t.Fatal("ExportState returned a shallow copy")
+	}
+}
+
+func TestImportStateShapeMismatch(t *testing.T) {
+	g := diamond()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	o := New(g, dags, Config{Iters: 10})
+	st := o.ExportState()
+	st.Theta = st.Theta[:2]
+	if err := o.ImportState(st); err == nil {
+		t.Fatal("expected error importing truncated state")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	g := diamond()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	o := New(g, dags, Config{Iters: 10})
+	if !o.Matches(g, dags) {
+		t.Fatal("optimizer should match its own graph and DAGs")
+	}
+	other := dagx.BuildAll(g, dagx.Augmented)
+	if o.Matches(g, other) {
+		t.Fatal("distinct DAG instances must not match")
+	}
+	g2 := diamond()
+	if o.Matches(g2, dags) {
+		t.Fatal("distinct graph instances must not match")
+	}
+}
+
+func TestNewFromRoutingReproducesRouting(t *testing.T) {
+	g := diamond()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	scen := testScenarios(g)
+
+	src := New(g, dags, Config{Iters: 60})
+	src.Run(scen)
+	want := src.Routing()
+
+	warm := NewFromRouting(g, dags, Config{Iters: 60}, want)
+	got := warm.Routing()
+	for dst := range want.Phi {
+		for e := range want.Phi[dst] {
+			if d := math.Abs(got.Phi[dst][e] - want.Phi[dst][e]); d > 1e-6 {
+				t.Fatalf("Phi[%d][%d]: warm %v, want %v (Δ %v)", dst, e, got.Phi[dst][e], want.Phi[dst][e], d)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetConfigKeepsState(t *testing.T) {
+	g := diamond()
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	scen := testScenarios(g)
+	o := New(g, dags, Config{Iters: 30})
+	o.Run(scen)
+	before := o.Routing()
+	o.SetConfig(Config{Iters: 5})
+	after := o.Routing()
+	for dst := range before.Phi {
+		for e := range before.Phi[dst] {
+			if before.Phi[dst][e] != after.Phi[dst][e] {
+				t.Fatal("SetConfig must not alter parameters")
+			}
+		}
+	}
+	if o.cfg.Iters != 5 {
+		t.Fatalf("cfg.Iters = %d, want 5", o.cfg.Iters)
+	}
+}

@@ -23,6 +23,19 @@ type Options struct {
 	// inherits the evaluator's worker count instead, so one knob (set at
 	// NewEvaluator) still governs the whole loop.
 	Workers int
+	// Warm, when non-nil and built for exactly the (graph, DAGs) being
+	// optimized, is reused as the splitting optimizer: θ and the Adam
+	// moments carry over from the previous recompute, so the loop refines
+	// the prior solution instead of restarting from the near-ECMP init.
+	// Its tuning is replaced by Optimizer. A non-matching Warm is ignored.
+	Warm *gpopt.Optimizer
+	// Carry seeds the finite scenario set with critical demand matrices
+	// discovered by earlier recomputes (Report.Critical). Each is
+	// re-normalized against the evaluator's OPTDAG; matrices that became
+	// unroutable (e.g. after a failure) are silently dropped. This is the
+	// Algorithm 1 critical-matrix accumulation extended across recomputes:
+	// adversarial corners that still bind need not be re-discovered.
+	Carry []*demand.Matrix
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +59,19 @@ type Report struct {
 	OuterIters    int    // adversarial iterations executed
 	ScenarioCount int    // scenarios accumulated in the finite optimization set
 	ECMPFallback  bool   // true if plain ECMP evaluated no worse and was returned
+	// ECMPPerf is the worst-case ratio of traditional ECMP over the same
+	// DAGs and uncertainty set, evaluated as part of the no-worse-than-ECMP
+	// guarantee (so callers need not re-run the adversary for it).
+	ECMPPerf float64
+	// Critical lists the demand matrices of the finite scenario set in
+	// accumulation order — the critical matrices of Algorithm 1. Feed them
+	// back through Options.Carry to warm-start the next recompute's
+	// adversary.
+	Critical []*demand.Matrix
+	// Warm is the optimizer holding the final log-ratio/Adam state. Pass
+	// it back through Options.Warm (with the same graph and DAGs) to
+	// warm-start the next recompute.
+	Warm *gpopt.Optimizer
 }
 
 // OptimizeSplitting runs COYOTE's in-DAG traffic-splitting optimization
@@ -93,6 +119,7 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 		}
 		seen[h] = true
 		scenarios = append(scenarios, gpopt.NewScenario(g, D, norm))
+		report.Critical = append(report.Critical, D)
 		return true
 	}
 
@@ -106,7 +133,22 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 	}
 	addScenario(mid, ev.OptDAG(mid))
 
-	opt := gpopt.New(g, dags, opts.Optimizer)
+	// Carry-over: critical matrices from earlier recomputes enter the
+	// finite set immediately (re-normalized for these DAGs), so adversarial
+	// corners that still bind are not re-discovered over several rounds.
+	for _, D := range opts.Carry {
+		if D != nil && D.N == n {
+			addScenario(D, ev.OptDAG(D))
+		}
+	}
+
+	opt := opts.Warm
+	if opt != nil && opt.Matches(g, dags) {
+		opt.SetConfig(opts.Optimizer)
+	} else {
+		opt = gpopt.New(g, dags, opts.Optimizer)
+	}
+	report.Warm = opt
 
 	// Seed the scenario set with the adversary's verdict on the initial
 	// (near-ECMP) routing so the first optimization round already sees the
@@ -144,14 +186,16 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 	// shortest-path DAGs is a point of the solution space; never return
 	// anything that evaluates worse.
 	ecmp := ECMPOnDAGs(g, dags)
-	if ecmpRes := ev.Perf(ecmp); ecmpRes.Ratio < bestRes.Ratio {
+	ecmpRes := ev.Perf(ecmp)
+	report.ECMPPerf = ecmpRes.Ratio
+	if ecmpRes.Ratio < bestRes.Ratio {
 		bestRes = ecmpRes
 		bestRouting = ecmp
 		report.ECMPFallback = true
 	}
 	if bestRouting == nil {
-		bestRouting = ECMPOnDAGs(g, dags)
-		bestRes = ev.Perf(bestRouting)
+		bestRouting = ecmp
+		bestRes = ecmpRes
 		report.ECMPFallback = true
 	}
 	report.Perf = bestRes

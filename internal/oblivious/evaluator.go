@@ -77,27 +77,55 @@ type Evaluator struct {
 	Box  *demand.Box
 	cfg  EvalConfig
 
-	mu       sync.Mutex
-	optCache map[uint64]float64
-	mfCache  map[[2]graph.NodeID]float64
+	cache *evalCache // OPTDAG and max-flow caches, shareable across boxes
 
 	seq     atomic.Uint64 // PerfTop call sequence; varies corner samples across calls
 	edgeBuf *par.Pool     // pooled per-edge flow buffers (len NumEdges)
 	nodeBuf *par.Pool     // pooled per-node inflow buffers (len NumNodes)
 }
 
+// evalCache holds the values that depend only on (graph, DAGs) — OPTDAG
+// normalizations and per-pair DAG max-flows — so evaluators over the same
+// topology but different uncertainty boxes (the online controller's demand
+// updates) can share them.
+type evalCache struct {
+	mu  sync.Mutex
+	opt map[uint64]float64
+	mf  map[[2]graph.NodeID]float64
+}
+
 // NewEvaluator builds an evaluator for the given DAGs and uncertainty box.
 func NewEvaluator(g *graph.Graph, dags []*dagx.DAG, box *demand.Box, cfg EvalConfig) *Evaluator {
 	cfg = cfg.withDefaults()
 	return &Evaluator{
-		G:        g,
-		DAGs:     dags,
-		Box:      box,
-		cfg:      cfg,
-		optCache: make(map[uint64]float64),
-		mfCache:  make(map[[2]graph.NodeID]float64),
-		edgeBuf:  par.NewPool(g.NumEdges()),
-		nodeBuf:  par.NewPool(g.NumNodes()),
+		G:    g,
+		DAGs: dags,
+		Box:  box,
+		cfg:  cfg,
+		cache: &evalCache{
+			opt: make(map[uint64]float64),
+			mf:  make(map[[2]graph.NodeID]float64),
+		},
+		edgeBuf: par.NewPool(g.NumEdges()),
+		nodeBuf: par.NewPool(g.NumNodes()),
+	}
+}
+
+// WithBox derives an evaluator for a different uncertainty box over the
+// same graph and DAGs. The OPTDAG and max-flow caches — which are
+// box-independent — and the flow-buffer pools are shared with the
+// receiver, so a session that drifts its demand bounds keeps every
+// normalization it already paid for. The derived evaluator starts a fresh
+// corner-sampling sequence.
+func (ev *Evaluator) WithBox(box *demand.Box) *Evaluator {
+	return &Evaluator{
+		G:       ev.G,
+		DAGs:    ev.DAGs,
+		Box:     box,
+		cfg:     ev.cfg,
+		cache:   ev.cache,
+		edgeBuf: ev.edgeBuf,
+		nodeBuf: ev.nodeBuf,
 	}
 }
 
@@ -105,12 +133,13 @@ func NewEvaluator(g *graph.Graph, dags []*dagx.DAG, box *demand.Box, cfg EvalCon
 // evaluator's DAGs (cached; exact LP on small graphs, FPTAS otherwise).
 func (ev *Evaluator) OptDAG(D *demand.Matrix) float64 {
 	h := hashMatrix(D)
-	ev.mu.Lock()
-	if v, ok := ev.optCache[h]; ok {
-		ev.mu.Unlock()
+	c := ev.cache
+	c.mu.Lock()
+	if v, ok := c.opt[h]; ok {
+		c.mu.Unlock()
 		return v
 	}
-	ev.mu.Unlock()
+	c.mu.Unlock()
 	var v float64
 	var err error
 	if ev.G.NumNodes() <= ev.cfg.ExactNodeLimit {
@@ -121,9 +150,9 @@ func (ev *Evaluator) OptDAG(D *demand.Matrix) float64 {
 	if err != nil {
 		v = math.Inf(1)
 	}
-	ev.mu.Lock()
-	ev.optCache[h] = v
-	ev.mu.Unlock()
+	c.mu.Lock()
+	c.opt[h] = v
+	c.mu.Unlock()
 	return v
 }
 
@@ -132,12 +161,13 @@ func (ev *Evaluator) OptDAG(D *demand.Matrix) float64 {
 // exactly d/pairMaxFlow(s,t).
 func (ev *Evaluator) pairMaxFlow(s, t graph.NodeID) float64 {
 	key := [2]graph.NodeID{s, t}
-	ev.mu.Lock()
-	if v, ok := ev.mfCache[key]; ok {
-		ev.mu.Unlock()
+	c := ev.cache
+	c.mu.Lock()
+	if v, ok := c.mf[key]; ok {
+		c.mu.Unlock()
 		return v
 	}
-	ev.mu.Unlock()
+	c.mu.Unlock()
 	net := maxflow.NewNetwork(ev.G.NumNodes())
 	for _, e := range ev.G.Edges() {
 		if ev.DAGs[t].Member[e.ID] {
@@ -145,9 +175,9 @@ func (ev *Evaluator) pairMaxFlow(s, t graph.NodeID) float64 {
 		}
 	}
 	v := net.MaxFlow(int(s), int(t))
-	ev.mu.Lock()
-	ev.mfCache[key] = v
-	ev.mu.Unlock()
+	c.mu.Lock()
+	c.mf[key] = v
+	c.mu.Unlock()
 	return v
 }
 

@@ -293,7 +293,7 @@ func TestOptDAGCaching(t *testing.T) {
 	if a != b {
 		t.Fatalf("cache miss changed value: %g vs %g", a, b)
 	}
-	if len(ev.optCache) != 1 {
-		t.Fatalf("cache has %d entries, want 1", len(ev.optCache))
+	if len(ev.cache.opt) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(ev.cache.opt))
 	}
 }

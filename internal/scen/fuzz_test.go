@@ -1,0 +1,110 @@
+package scen
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+)
+
+// Native Go fuzz targets for the real-world topology loaders: malformed
+// files must produce errors, never panics, and any successfully parsed
+// graph must satisfy the structural invariants downstream packages assume
+// (Validate, positive capacities/weights — AddEdge would have panicked on
+// violations, so reaching Validate already proves them).
+//
+// CI runs a short `-fuzz` smoke for each target; longer local runs:
+//
+//	go test -run '^$' -fuzz FuzzReadGraphML -fuzztime 60s ./internal/scen
+
+func seedFile(f *testing.F, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+}
+
+func FuzzReadGraphML(f *testing.F) {
+	seedFile(f, "testdata/zoo5.graphml")
+	f.Add([]byte(`<graphml><graph edgedefault="undirected"><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`))
+	f.Add([]byte(`<graphml><key id="k" for="edge" attr.name="LinkSpeedRaw"/><graph><node id="a"/><node id="b"/><edge source="a" target="b"><data key="k">1e309</data></edge></graph></graphml>`))
+	f.Add([]byte(`<graphml>`))
+	f.Add([]byte(`not xml at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraphML(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph fails validation: %v", verr)
+		}
+	})
+}
+
+func FuzzReadSNDlib(f *testing.F) {
+	seedFile(f, "testdata/tiny.snd")
+	f.Add([]byte("?SNDlib native format; type: network\nNODES (\n a ( 0 0 )\n b ( 1 1 )\n)\nLINKS (\n l1 ( a b ) 1 0 1 0 ( )\n)\n"))
+	f.Add([]byte("NODES (\n a\n)\nLINKS (\n l1 ( a a ) \n)\n"))
+	f.Add([]byte("NODES ( a ) LINKS ( l1 ( a b ) NaN )"))
+	f.Add([]byte("DEMANDS ("))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, dm, err := ReadSNDlib(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph fails validation: %v", verr)
+		}
+		if dm != nil && dm.N != g.NumNodes() {
+			t.Fatalf("demand matrix is %d×%d for a %d-node graph", dm.N, dm.N, g.NumNodes())
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	// Seed with a real serialization plus the malformed-input corpus the
+	// PR2 hardening tests cover.
+	g, err := Generate("ring", Params{N: 5, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("node a\nnode b\nlink a b 10 1\n"))
+	f.Add([]byte("link a a 1 1\n"))
+	f.Add([]byte("link a b NaN 1\n"))
+	f.Add([]byte("link a b Inf 1\n"))
+	f.Add([]byte("edge a b -3 1\n"))
+	f.Add([]byte("garbage directive\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzReadAuto exercises the sniffing front door the CLIs use, ensuring
+// dispatch itself never panics either.
+func FuzzReadAuto(f *testing.F) {
+	seedFile(f, "testdata/zoo5.graphml")
+	seedFile(f, "testdata/tiny.snd")
+	f.Add([]byte("node a\nnode b\nlink a b 10 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadAuto(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parsed graph fails validation: %v", verr)
+		}
+	})
+}

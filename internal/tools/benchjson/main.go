@@ -1,14 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON perf-trajectory file. `make bench` pipes the
-// BenchmarkCompute* suite through it into BENCH_PR2.json so the repo's
+// headline benchmark suite through it into BENCH_PR3.json so the repo's
 // performance record is diffable across PRs:
 //
-//	go test -run '^$' -bench 'BenchmarkCompute' -cpu 1,4 . | benchjson -out BENCH_PR2.json
+//	go test -run '^$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -cpu 1,4 . \
+//	    | benchjson -o BENCH_PR3.json
 //
 // Each result records the benchmark name, the corpus topology it
 // computes (when derivable from the name), the worker count (the -cpu
-// value, which BenchmarkCompute maps one-to-one onto the evaluation
-// engine's worker pool), iterations, and ns/op.
+// value, which the benchmarks map one-to-one onto the evaluation
+// engine's worker pool), iterations, and ns/op. The report also records
+// the host's runtime.NumCPU: on a 1-CPU runner a workers=4 measurement is
+// pure scheduling overhead, and the recorded CPU count is what makes such
+// numbers interpretable after the fact.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,14 +37,17 @@ type Result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 }
 
-// Report is the BENCH_PR2.json shape.
+// Report is the BENCH_PR3.json shape.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	Goos        string   `json:"goos,omitempty"`
-	Goarch      string   `json:"goarch,omitempty"`
-	CPU         string   `json:"cpu,omitempty"`
-	Pkg         string   `json:"pkg,omitempty"`
-	Results     []Result `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	Goos        string `json:"goos,omitempty"`
+	Goarch      string `json:"goarch,omitempty"`
+	CPU         string `json:"cpu,omitempty"`
+	// NumCPU is the host's runtime.NumCPU at measurement time — the
+	// context that makes per-worker-count numbers interpretable.
+	NumCPU  int      `json:"num_cpu"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // benchTopologies maps benchmark base names to the corpus topology they
@@ -48,15 +56,22 @@ var benchTopologies = map[string]string{
 	"BenchmarkCompute":         "Geant",
 	"BenchmarkComputeNSF":      "NSF",
 	"BenchmarkComputeEndToEnd": "running-example",
+	"BenchmarkWarmRecompute":   "Geant",
+	"BenchmarkColdRecompute":   "Geant",
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 func main() {
-	out := flag.String("out", "", "write JSON here (default stdout)")
+	var out string
+	flag.StringVar(&out, "out", "", "write JSON here (default stdout)")
+	flag.StringVar(&out, "o", "", "shorthand for -out")
 	flag.Parse()
 
-	rep := Report{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -96,8 +111,8 @@ func main() {
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fatal(err)
 		}

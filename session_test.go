@@ -1,0 +1,109 @@
+package coyote_test
+
+import (
+	"testing"
+
+	coyote "github.com/coyote-te/coyote"
+)
+
+func newTestSession(t *testing.T) (*coyote.Session, *coyote.Topology, *coyote.DemandMatrix) {
+	t.Helper()
+	topo, err := coyote.LoadTopology("NSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := coyote.GravityDemands(topo, 1)
+	s, err := coyote.NewSession(topo, coyote.MarginBounds(base, 2), coyote.Options{
+		OptimizerIters:   150,
+		AdversarialIters: 2,
+		Samples:          3,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, topo, base
+}
+
+func TestSessionRejectsLocalSearchWeights(t *testing.T) {
+	topo, err := coyote.LoadTopology("NSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := coyote.MarginBounds(coyote.GravityDemands(topo, 1), 2)
+	if _, err := coyote.NewSession(topo, bounds, coyote.Options{LocalSearchWeights: true}); err == nil {
+		t.Fatal("NewSession must reject LocalSearchWeights")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s, topo, base := newTestSession(t)
+
+	cfg := s.Config()
+	if !(cfg.Perf >= 1-1e-9) || cfg.Perf > cfg.ECMPPerf+1e-9 {
+		t.Fatalf("initial Perf %v (ECMP %v)", cfg.Perf, cfg.ECMPPerf)
+	}
+	if err := cfg.Routing.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Demand drift → warm update.
+	ev, err := s.UpdateBounds(coyote.MarginBounds(base, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Warm {
+		t.Fatal("UpdateBounds should be warm")
+	}
+
+	// Lies: first emission is a full injection; an immediate second one is
+	// a no-op.
+	l1, err := s.Lies(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Churn() != l1.Added || l1.Removed != 0 || l1.Updated != 0 {
+		t.Fatalf("first lie emission: added %d removed %d updated %d", l1.Added, l1.Removed, l1.Updated)
+	}
+	l2, err := s.Lies(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Churn() != 0 {
+		t.Fatalf("steady-state churn %d, want 0", l2.Churn())
+	}
+
+	// Failure / recovery round-trip.
+	a, ok := topo.Node("NSF-00")
+	if !ok {
+		t.Fatal("node NSF-00 missing")
+	}
+	b, ok := topo.Node("NSF-01")
+	if !ok {
+		t.Fatal("node NSF-01 missing")
+	}
+	link, ok := topo.Link(a, b)
+	if !ok {
+		t.Fatal("link NSF-00–NSF-01 missing")
+	}
+	if _, err := s.Fail(link); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.FailedLinks()); n != 1 {
+		t.Fatalf("%d failed links, want 1", n)
+	}
+	if _, err := s.Recover(link); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.FailedLinks()); n != 0 {
+		t.Fatalf("%d failed links after recovery, want 0", n)
+	}
+
+	events := s.Events()
+	if len(events) < 5 {
+		t.Fatalf("only %d events recorded", len(events))
+	}
+	if events[0].Kind != "init" {
+		t.Fatalf("first event %q", events[0].Kind)
+	}
+}
