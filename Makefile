@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz-smoke smoke-examples
+.PHONY: all build test vet race bench fuzz-smoke smoke-examples
 
 all: build test
 
@@ -13,20 +13,27 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
 
-# bench regenerates BENCH_PR3.json, the machine-readable perf trajectory:
-# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) plus the
-# online controller's warm-vs-cold recompute pair, at 1 and 4 workers,
-# parsed into JSON by internal/tools/benchjson (which also records the
-# host CPU count — the key to reading per-worker numbers on small
-# runners). CI runs this on every push; commit the refreshed file when
-# the numbers move materially.
+# bench regenerates BENCH_PR4.json, the machine-readable perf trajectory
+# (BENCH_PR2.json / BENCH_PR3.json are kept as the historical record):
+# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) and the
+# online controller's warm-vs-cold recompute pair at 1 and 4 workers,
+# plus the sparse-LP core pair — BenchmarkExactOPT (sparse vs dense exact
+# OPTDAG on the largest corpus topology) and BenchmarkSlaveLP (per-link
+# basis-chain warm start vs cold) — parsed into JSON by
+# internal/tools/benchjson (which also records the host CPU count — the
+# key to reading per-worker numbers on small runners). CI runs this on
+# every push; commit the refreshed file when the numbers move materially.
 bench:
-	$(GO) test -run '^$$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -benchtime 2x -cpu 1,4 . \
+	( $(GO) test -run '^$$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -benchtime 2x -cpu 1,4 . && \
+	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x . ) \
 		| tee /dev/stderr \
-		| $(GO) run ./internal/tools/benchjson -o BENCH_PR3.json
+		| $(GO) run ./internal/tools/benchjson -o BENCH_PR4.json
 
 # fuzz-smoke runs each native fuzz target briefly — the CI gate that
 # malformed real-world topology files error instead of panicking.

@@ -24,6 +24,7 @@ import (
 
 	coyote "github.com/coyote-te/coyote"
 	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/scen"
 )
 
@@ -36,8 +37,10 @@ func main() {
 		model    = flag.String("demand", "gravity", "demand model for -topo-file sweeps")
 		quick    = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
 		workers  = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
+		lpStats  = flag.Bool("lp-stats", false, "print sparse-LP solver statistics (iterations, refactorizations, warm-start hit rate) after each run")
 	)
 	flag.Parse()
+	printLPStats = *lpStats
 
 	if *list {
 		printList()
@@ -60,6 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		lp.ResetGlobalStats()
 		tab, err := exp.SweepGraph(fmt.Sprintf("Sweep — %s", *topoFile), g, *model, cfg)
 		if err != nil {
 			fatal(err)
@@ -67,6 +71,7 @@ func main() {
 		if _, err := tab.WriteTo(os.Stdout); err != nil {
 			fatal(err)
 		}
+		reportLPStats(fmt.Sprintf("sweep %s", *topoFile))
 	case *run != "":
 		if err := runOne(*run, cfg); err != nil {
 			if errors.Is(err, exp.ErrUnknownID) {
@@ -102,6 +107,7 @@ func printList() {
 
 func runOne(id string, cfg exp.Config) error {
 	start := time.Now()
+	lp.ResetGlobalStats()
 	tab, err := exp.Run(id, cfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)
@@ -110,7 +116,25 @@ func runOne(id string, cfg exp.Config) error {
 		return err
 	}
 	fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	reportLPStats(id)
 	return nil
+}
+
+// printLPStats mirrors the -lp-stats flag for reportLPStats.
+var printLPStats bool
+
+// reportLPStats prints the per-run counters of the sparse LP core: how
+// many simplex solves the run triggered, the iteration/refactorization
+// totals, and how often a warm-start basis was offered and accepted
+// (PerfExact's per-link chain, the evaluator's carried OPTDAG basis).
+func reportLPStats(run string) {
+	if !printLPStats {
+		return
+	}
+	st := lp.GlobalStats()
+	fmt.Printf("[lp-stats %s] solves=%d iterations=%d phase1=%d refactorizations=%d warm=%d/%d (hit rate %.0f%%) dense-fallbacks=%d\n\n",
+		run, st.Solves, st.Iterations, st.Phase1Iterations, st.Refactorizations,
+		st.WarmHits, st.WarmAttempts, 100*st.WarmHitRate(), st.DenseFallbacks)
 }
 
 func fatal(err error) {

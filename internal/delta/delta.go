@@ -13,7 +13,13 @@
 //     adversary accumulated (oblivious.Report.Critical) seed the next
 //     recompute's finite scenario set, so adversarial corners that still
 //     bind are not re-discovered round by round. OPTDAG normalizations are
-//     shared across demand updates via oblivious.Evaluator.WithBox.
+//     shared across demand updates via oblivious.Evaluator.WithBox — and
+//     so is the exact solver's warm-start state: the evaluator cache
+//     carries the last optimal simplex basis (lp.Basis), so the sparse
+//     LP behind every fresh normalization after UpdateBounds or Recover
+//     resumes from the previous epoch's vertex instead of re-running
+//     phase 1, exactly as the gpopt log-ratio/Adam state carries through
+//     Options.Warm.
 //   - Failover swap-then-refine: single-link failures swap in the
 //     precomputed configuration (failover.PrecomputeGroups), re-seed the
 //     optimizer from its ratios (gpopt.NewFromRouting), and refine with a

@@ -7,6 +7,7 @@ import (
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/oblivious"
 	"github.com/coyote-te/coyote/internal/topo"
 )
@@ -293,5 +294,32 @@ func TestBadInputs(t *testing.T) {
 	}
 	if _, err := s.Fail(10_000); err == nil {
 		t.Fatal("out-of-range link accepted")
+	}
+}
+
+// TestBasisCarriesThroughUpdateBounds asserts the tentpole's third warm
+// channel: the exact OPTDAG solver's optimal basis lives in the shared
+// evaluator cache and rides WithBox through demand updates, so the fresh
+// normalizations of an updated box warm-start from the previous epoch's
+// vertex. The counters are process-global, so this test must not run in
+// parallel with others that reset them.
+func TestBasisCarriesThroughUpdateBounds(t *testing.T) {
+	s, base := newNSFSession(t, testCfg())
+	lp.ResetGlobalStats()
+	if _, err := s.UpdateBounds(demand.MarginBox(base.Clone().Scale(1.2), 2.1)); err != nil {
+		t.Fatal(err)
+	}
+	st := lp.GlobalStats()
+	if st.Solves == 0 {
+		t.Fatal("no exact LP solves during UpdateBounds; is NSF above ExactNodeLimit?")
+	}
+	if st.WarmAttempts == 0 {
+		t.Fatal("no warm-start attempts: the basis did not carry through WithBox")
+	}
+	if st.WarmHits == 0 {
+		t.Fatalf("basis carried but never accepted (attempts %d)", st.WarmAttempts)
+	}
+	if st.DenseFallbacks != 0 {
+		t.Fatalf("%d dense fallbacks during a session update", st.DenseFallbacks)
 	}
 }

@@ -1,0 +1,131 @@
+package gpopt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/mcf"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+// runningExample builds the 4-node network of Fig. 1 / Appendix B.
+func runningExample(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	s1 := g.AddNode("s1")
+	s2 := g.AddNode("s2")
+	v := g.AddNode("v")
+	tt := g.AddNode("t")
+	g.AddLink(s1, s2, 1, 1)
+	g.AddLink(s1, v, 1, 1)
+	g.AddLink(s2, v, 1, 1)
+	g.AddLink(s2, tt, 1, 1)
+	g.AddLink(v, tt, 1, 1)
+	return g
+}
+
+// TestCertifyNormRunningExample certifies the OPTDAG of the running
+// example and cross-checks the certified optimum against the mcf solvers.
+func TestCertifyNormRunningExample(t *testing.T) {
+	g := runningExample(t)
+	D := demand.NewMatrix(g.NumNodes())
+	tt, _ := g.NodeByName("t")
+	s1, _ := g.NodeByName("s1")
+	s2, _ := g.NodeByName("s2")
+	D.Set(s1, tt, 1)
+	D.Set(s2, tt, 1)
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	cert, err := CertifyNorm(g, dags, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Gap > certTol {
+		t.Fatalf("gap %g", cert.Gap)
+	}
+	want, _, err := mcf.MinMLUExact(g, dags, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cert.Objective-want) > 1e-9*(1+want) {
+		t.Fatalf("certified %g, mcf %g", cert.Objective, want)
+	}
+}
+
+// TestCertifyNormCorpus certifies gravity-demand OPTDAGs across a corpus
+// subset, free and DAG-restricted.
+func TestCertifyNormCorpus(t *testing.T) {
+	for _, name := range []string{"Abilene", "NSF", "Germany"} {
+		g, err := topo.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		D := demand.Gravity(g, 1)
+		dags := dagx.BuildAll(g, dagx.Augmented)
+		for _, tc := range []struct {
+			label string
+			dags  []*dagx.DAG
+		}{{"free", nil}, {"in-dag", dags}} {
+			cert, err := CertifyNorm(g, tc.dags, D)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, tc.label, err)
+			}
+			want, _, err := mcf.MinMLUExact(g, tc.dags, D)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(cert.Objective-want) > 1e-7*(1+want) {
+				t.Fatalf("%s %s: certified %g, mcf %g", name, tc.label, cert.Objective, want)
+			}
+			if cert.DualBound > cert.Objective+1e-6*(1+cert.Objective) {
+				t.Fatalf("%s %s: dual bound %g exceeds primal %g", name, tc.label, cert.DualBound, cert.Objective)
+			}
+		}
+	}
+}
+
+// TestCertifyNormUnroutable rejects demands with no path in the DAGs.
+func TestCertifyNormUnroutable(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddLink(a, b, 1, 1)
+	g.AddEdge(b, c, 1, 1) // one-way: nothing reaches a from c... (c→a impossible)
+	D := demand.NewMatrix(3)
+	D.Set(c, a, 1)
+	if _, err := CertifyNorm(g, nil, D); err == nil {
+		t.Fatal("expected an error for unroutable demand")
+	}
+}
+
+// TestCertifyScenarios verifies the scenario-set checker accepts exact
+// norms and flags corrupted ones.
+func TestCertifyScenarios(t *testing.T) {
+	g, err := topo.Load("Abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	base := demand.Gravity(g, 1)
+	shifted := base.Clone().Scale(1.2)
+	mats := []*demand.Matrix{base, shifted}
+	norms := make([]float64, len(mats))
+	for i, D := range mats {
+		v, _, err := mcf.MinMLUExact(g, dags, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norms[i] = v
+	}
+	if idx, err := CertifyScenarios(g, dags, mats, norms, 1e-6); err != nil {
+		t.Fatalf("scenario %d: %v", idx, err)
+	}
+	norms[1] *= 1.5 // corrupt
+	idx, err := CertifyScenarios(g, dags, mats, norms, 1e-6)
+	if err == nil || idx != 1 {
+		t.Fatalf("corrupted norm not flagged (idx %d, err %v)", idx, err)
+	}
+}

@@ -64,12 +64,24 @@ func (g *Graph) AddNode(name string) NodeID {
 	return id
 }
 
-// AddNodes adds n anonymous vertices named "v0".."v{n-1}" (only if the graph
-// is empty) and returns the first ID.
+// AddNodes appends n anonymous vertices and returns the ID of the first
+// one. Names follow the "v<k>" scheme, skipping any that already exist, so
+// the call adds exactly n fresh vertices on any graph. (It previously
+// documented itself as empty-graph-only: on a graph that already contained
+// a colliding "v<k>" name, AddNode's dedup-by-name silently returned the
+// existing vertex and fewer than n nodes were added.)
 func (g *Graph) AddNodes(n int) NodeID {
 	first := NodeID(len(g.names))
+	k := len(g.names)
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("v%d", int(first)+i))
+		for {
+			name := fmt.Sprintf("v%d", k)
+			k++
+			if _, exists := g.nameIdx[name]; !exists {
+				g.AddNode(name)
+				break
+			}
+		}
 	}
 	return first
 }

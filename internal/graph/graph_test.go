@@ -296,3 +296,52 @@ func TestWithoutLinkDirected(t *testing.T) {
 		t.Fatal("wrong edge removed")
 	}
 }
+
+// TestAddNodesAppends verifies AddNodes adds exactly n fresh vertices on
+// any graph — including non-empty graphs whose existing names collide with
+// the generated "v<k>" scheme, where the old implementation silently
+// deduplicated against them and added fewer nodes.
+func TestAddNodesAppends(t *testing.T) {
+	// Empty graph: classic behavior.
+	g := New()
+	if first := g.AddNodes(3); first != 0 || g.NumNodes() != 3 {
+		t.Fatalf("empty: first=%d nodes=%d, want 0 and 3", first, g.NumNodes())
+	}
+	if g.Name(0) != "v0" || g.Name(2) != "v2" {
+		t.Fatalf("empty: names %q..%q", g.Name(0), g.Name(2))
+	}
+
+	// Non-empty graph without name collisions.
+	g2 := New()
+	g2.AddNode("a")
+	g2.AddNode("b")
+	if first := g2.AddNodes(2); first != 2 || g2.NumNodes() != 4 {
+		t.Fatalf("non-empty: first=%d nodes=%d, want 2 and 4", first, g2.NumNodes())
+	}
+
+	// Colliding names: "v3" already exists where the generator would land.
+	g3 := New()
+	g3.AddNode("v3")
+	g3.AddNode("x")
+	first := g3.AddNodes(4)
+	if first != 2 {
+		t.Fatalf("collision: first=%d, want 2", first)
+	}
+	if g3.NumNodes() != 6 {
+		t.Fatalf("collision: %d nodes, want 6 (exactly 4 added)", g3.NumNodes())
+	}
+	// Every ID from first on must be a genuinely new vertex.
+	seen := map[string]bool{}
+	for i := 0; i < g3.NumNodes(); i++ {
+		name := g3.Name(NodeID(i))
+		if seen[name] {
+			t.Fatalf("duplicate node name %q", name)
+		}
+		seen[name] = true
+	}
+	// And IDs keep working for edges.
+	g3.AddLink(first, first+3, 1, 1)
+	if _, ok := g3.FindEdge(first, first+3); !ok {
+		t.Fatal("edge between appended nodes not found")
+	}
+}

@@ -1,19 +1,24 @@
-// Package lp is a self-contained dense linear-programming solver (two-phase
-// primal simplex) used wherever the paper relies on an external LP/convex
-// solver (AMPL + MOSEK, §VI-A): computing demands-aware optima, the
-// worst-case-demand "slave LP" of Appendix C, and the dual certificates of
-// Theorem 5.
+// Package lp is a self-contained linear-programming stack used wherever the
+// paper relies on an external LP/convex solver (AMPL + MOSEK, §VI-A):
+// computing demands-aware optima, the worst-case-demand "slave LP" of
+// Appendix C, and the dual certificates of Theorem 5.
 //
-// The solver handles problems of the form
+// Two engines share the package (DESIGN.md §7):
 //
-//	min (or max)  cᵀx
-//	subject to    aᵢᵀx {≤,=,≥} bᵢ   for each row i
-//	              x ≥ 0
-//
-// using the full-tableau two-phase simplex method with Dantzig pricing and a
-// Bland's-rule fallback for anti-cycling. It is tuned for the moderate,
-// dense instances produced by the traffic-engineering formulations in this
-// repository (hundreds to a few thousands of variables).
+//   - Model (the production path) is a sparse revised simplex: CSC
+//     constraint matrix, Gilbert–Peierls LU basis factorization with
+//     product-form eta updates and periodic refactorization, bounded
+//     variables and ranged rows (so simple bounds never become rows),
+//     Dantzig pricing with a Bland's-rule anti-cycling fallback, row duals,
+//     and warm starts from an exported Basis. Every solver client — OPTDAG
+//     (internal/mcf), the slave LP (internal/oblivious), the dual
+//     certificates (internal/gpopt) — builds against it.
+//   - Problem is the original dense full-tableau two-phase simplex for
+//     min/max cᵀx s.t. aᵢᵀx {≤,=,≥} bᵢ, x ≥ 0. It is retained as the
+//     reference oracle: randomized and corpus parity tests cross-validate
+//     every sparse optimum against it (Model.SolveDense bridges the two
+//     forms), and Model.Solve falls back to it on a sparse numerical
+//     failure.
 package lp
 
 import (
@@ -139,11 +144,23 @@ func (p *Problem) AddConstraint(terms []Term, rel Rel, rhs float64) {
 // NumConstraints reports the number of constraints added so far.
 func (p *Problem) NumConstraints() int { return len(p.rows) }
 
-// Solution is the result of Solve.
+// Solution is the result of a solve — the dense Problem.Solve fills the
+// first three fields; the sparse Model.Solve additionally reports duals,
+// the final basis for warm starts, and per-solve statistics.
 type Solution struct {
 	Status    Status
 	Objective float64   // objective value in the problem's own sense
 	X         []float64 // primal values, one per variable (valid when Status == Optimal)
+
+	// Duals holds one multiplier per model row (Model.Solve only), in the
+	// model's own sense: for a minimization, yᵀ·rhs lower-bounds the
+	// optimum; for a maximization it upper-bounds it.
+	Duals []float64
+	// Basis is the optimal basis (Model.Solve only); feed it back through
+	// SolveOptions.Basis to warm-start a related solve.
+	Basis *Basis
+	// Stats describes the sparse engine's effort (Model.Solve only).
+	Stats SolveStats
 }
 
 // ErrIterationLimit is returned when the simplex fails to converge within

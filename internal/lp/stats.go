@@ -1,0 +1,76 @@
+package lp
+
+import "sync/atomic"
+
+// StatsSnapshot aggregates solver activity across every Model.Solve in the
+// process since the last ResetGlobalStats — the source for
+// `coyote-eval -lp-stats`. Counters are monotone and safe to read
+// concurrently; they are diagnostics only and never part of the
+// determinism contract.
+type StatsSnapshot struct {
+	Solves           uint64 // sparse solves attempted
+	Iterations       uint64 // total simplex iterations
+	Phase1Iterations uint64 // iterations spent restoring feasibility
+	Refactorizations uint64 // LU (re)factorizations
+	WarmAttempts     uint64 // solves offered a warm basis
+	WarmHits         uint64 // ... that accepted it
+	DenseFallbacks   uint64 // sparse failures answered by the dense oracle
+}
+
+// WarmHitRate is WarmHits/WarmAttempts, or 0 when no warm start was tried.
+func (s StatsSnapshot) WarmHitRate() float64 {
+	if s.WarmAttempts == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.WarmAttempts)
+}
+
+type statsCounters struct {
+	solves           uint64
+	iterations       uint64
+	phase1           uint64
+	refactorizations uint64
+	warmAttempts     uint64
+	warmHits         uint64
+	denseFallbacks   uint64
+}
+
+var globalStats statsCounters
+
+func (c *statsCounters) record(s SolveStats) {
+	atomic.AddUint64(&c.solves, 1)
+	atomic.AddUint64(&c.iterations, uint64(s.Iterations))
+	atomic.AddUint64(&c.phase1, uint64(s.Phase1Iterations))
+	atomic.AddUint64(&c.refactorizations, uint64(s.Refactorizations))
+	if s.WarmAttempted {
+		atomic.AddUint64(&c.warmAttempts, 1)
+	}
+	if s.WarmUsed {
+		atomic.AddUint64(&c.warmHits, 1)
+	}
+}
+
+// GlobalStats returns a snapshot of the process-wide solver counters.
+func GlobalStats() StatsSnapshot {
+	return StatsSnapshot{
+		Solves:           atomic.LoadUint64(&globalStats.solves),
+		Iterations:       atomic.LoadUint64(&globalStats.iterations),
+		Phase1Iterations: atomic.LoadUint64(&globalStats.phase1),
+		Refactorizations: atomic.LoadUint64(&globalStats.refactorizations),
+		WarmAttempts:     atomic.LoadUint64(&globalStats.warmAttempts),
+		WarmHits:         atomic.LoadUint64(&globalStats.warmHits),
+		DenseFallbacks:   atomic.LoadUint64(&globalStats.denseFallbacks),
+	}
+}
+
+// ResetGlobalStats zeroes the process-wide solver counters (per-run
+// accounting for -lp-stats).
+func ResetGlobalStats() {
+	atomic.StoreUint64(&globalStats.solves, 0)
+	atomic.StoreUint64(&globalStats.iterations, 0)
+	atomic.StoreUint64(&globalStats.phase1, 0)
+	atomic.StoreUint64(&globalStats.refactorizations, 0)
+	atomic.StoreUint64(&globalStats.warmAttempts, 0)
+	atomic.StoreUint64(&globalStats.warmHits, 0)
+	atomic.StoreUint64(&globalStats.denseFallbacks, 0)
+}

@@ -44,11 +44,112 @@ func allowedEdges(g *graph.Graph, dags []*dagx.DAG, t graph.NodeID) []bool {
 	return all
 }
 
-// MinMLUExact solves min-MLU exactly with the simplex solver. It returns
-// the optimal utilization and the per-destination edge flows
-// (flows[t][e]; nil rows for destinations without demand). When dags is
-// non-nil, flows are restricted to each destination's DAG.
+// MinMLUExact solves min-MLU exactly with the sparse revised-simplex
+// solver. It returns the optimal utilization and the per-destination edge
+// flows (flows[t][e]; nil rows for destinations without demand). When dags
+// is non-nil, flows are restricted to each destination's DAG.
 func MinMLUExact(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [][]float64, error) {
+	mlu, flows, _, err := MinMLUExactBasis(g, dags, D, nil)
+	return mlu, flows, err
+}
+
+// MinMLUExactBasis is MinMLUExact with an optional warm-start basis from a
+// previous solve of the same formulation shape — same graph, DAGs, and set
+// of active destinations (demand columns with traffic). The returned basis
+// is the optimal one of this solve; carrying it across the online
+// controller's repeated normalizations (demand matrices drifting inside a
+// box) typically skips phase 1 entirely. A basis that no longer fits is
+// ignored. The optimum itself never depends on the warm basis; only the
+// pivot path does.
+func MinMLUExactBasis(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix, warm *lp.Basis) (float64, [][]float64, *lp.Basis, error) {
+	n := g.NumNodes()
+	if D.Total() == 0 {
+		return 0, make([][]float64, n), nil, nil
+	}
+	prob := lp.NewModel(lp.Minimize)
+	alpha := prob.AddVar(0, lp.Inf, 1)
+
+	// varOf[t][e] = LP variable for flow toward t on e, or -1.
+	varOf := make([][]int, n)
+	active := make([]bool, n)
+	for t := 0; t < n; t++ {
+		col := D.ToDestination(graph.NodeID(t))
+		for _, d := range col {
+			if d > 0 {
+				active[t] = true
+				break
+			}
+		}
+		if !active[t] {
+			continue
+		}
+		allowed := allowedEdges(g, dags, graph.NodeID(t))
+		varOf[t] = make([]int, g.NumEdges())
+		for e := range varOf[t] {
+			if allowed[e] {
+				varOf[t][e] = prob.AddVars(1)
+			} else {
+				varOf[t][e] = -1
+			}
+		}
+		// Flow conservation at every v != t: out - in = d_vt.
+		for v := 0; v < n; v++ {
+			if v == t {
+				continue
+			}
+			var terms []lp.Term
+			for _, id := range g.Out(graph.NodeID(v)) {
+				if varOf[t][id] >= 0 {
+					terms = append(terms, lp.Term{Var: varOf[t][id], Coeff: 1})
+				}
+			}
+			for _, id := range g.In(graph.NodeID(v)) {
+				if varOf[t][id] >= 0 {
+					terms = append(terms, lp.Term{Var: varOf[t][id], Coeff: -1})
+				}
+			}
+			prob.AddEQ(terms, col[v])
+		}
+	}
+	// Capacity: sum_t flow_t(e) <= alpha * c_e.
+	for _, e := range g.Edges() {
+		terms := []lp.Term{{Var: alpha, Coeff: -e.Capacity}}
+		for t := 0; t < n; t++ {
+			if active[t] && varOf[t][e.ID] >= 0 {
+				terms = append(terms, lp.Term{Var: varOf[t][e.ID], Coeff: 1})
+			}
+		}
+		if len(terms) > 1 {
+			prob.AddLE(terms, 0)
+		}
+	}
+	sol, err := prob.Solve(&lp.SolveOptions{Basis: warm})
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("mcf: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return math.Inf(1), nil, nil, ErrUnroutable
+	}
+	flows := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		if !active[t] {
+			continue
+		}
+		flows[t] = make([]float64, g.NumEdges())
+		for e := range flows[t] {
+			if varOf[t][e] >= 0 {
+				flows[t][e] = sol.X[varOf[t][e]]
+			}
+		}
+	}
+	return sol.Objective, flows, sol.Basis, nil
+}
+
+// MinMLUExactDense solves the identical formulation on the dense
+// full-tableau reference solver. It is the parity oracle for the sparse
+// engine (see mcf parity tests and BenchmarkExactOPT) and is not used on
+// any production path.
+func MinMLUExactDense(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [][]float64, error) {
 	n := g.NumNodes()
 	if D.Total() == 0 {
 		return 0, make([][]float64, n), nil
@@ -57,7 +158,6 @@ func MinMLUExact(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [
 	alpha := prob.AddVariable()
 	prob.SetObjective(alpha, 1)
 
-	// varOf[t][e] = LP variable for flow toward t on e, or -1.
 	varOf := make([][]int, n)
 	active := make([]bool, n)
 	for t := 0; t < n; t++ {
@@ -80,7 +180,6 @@ func MinMLUExact(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [
 				varOf[t][e] = -1
 			}
 		}
-		// Flow conservation at every v != t: out - in = d_vt.
 		for v := 0; v < n; v++ {
 			if v == t {
 				continue
@@ -99,7 +198,6 @@ func MinMLUExact(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [
 			prob.AddConstraint(terms, lp.EQ, col[v])
 		}
 	}
-	// Capacity: sum_t flow_t(e) <= alpha * c_e.
 	for _, e := range g.Edges() {
 		terms := []lp.Term{{Var: alpha, Coeff: -e.Capacity}}
 		for t := 0; t < n; t++ {

@@ -244,7 +244,7 @@ func ECMPOnDAGs(g *graph.Graph, dags []*dagx.DAG) *pdrouting.Routing {
 // degrades as actual demands drift from the base.
 func BaseRouting(g *graph.Graph, dags []*dagx.DAG, base *demand.Matrix, exactNodeLimit int, eps float64) (*pdrouting.Routing, error) {
 	if exactNodeLimit <= 0 {
-		exactNodeLimit = 18
+		exactNodeLimit = DefaultExactNodeLimit
 	}
 	if eps <= 0 {
 		eps = 0.1

@@ -36,18 +36,28 @@ import (
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/maxflow"
 	"github.com/coyote-te/coyote/internal/mcf"
 	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
+// DefaultExactNodeLimit is the exact/FPTAS crossover: OPTDAG uses the
+// sparse revised-simplex LP up to this many nodes and the Garg–Könemann
+// FPTAS beyond it. The value was set by benchmark (EXPERIMENTS.md,
+// "Exact vs FPTAS crossover"): with the sparse core the exact LP beats the
+// eps=0.1 FPTAS on every corpus topology (≤ 33 nodes) and on ~40-node
+// generated WANs, and loses from ~48 nodes up. The dense-tableau core this
+// replaced capped the limit at 18.
+const DefaultExactNodeLimit = 40
+
 // EvalConfig tunes the evaluator.
 type EvalConfig struct {
 	Eps            float64 // FPTAS accuracy for OPTDAG on large instances (default 0.1)
 	Samples        int     // random box corners per evaluation (default 8)
 	Seed           int64   // seed for corner sampling
-	ExactNodeLimit int     // use the exact LP for OPTDAG when NumNodes ≤ this (default 18)
+	ExactNodeLimit int     // use the exact LP for OPTDAG when NumNodes ≤ this (default DefaultExactNodeLimit)
 	Workers        int     // worker-pool size (≤ 0 = GOMAXPROCS); never changes results
 }
 
@@ -59,7 +69,7 @@ func (c EvalConfig) withDefaults() EvalConfig {
 		c.Samples = 8
 	}
 	if c.ExactNodeLimit <= 0 {
-		c.ExactNodeLimit = 18
+		c.ExactNodeLimit = DefaultExactNodeLimit
 	}
 	return c
 }
@@ -85,13 +95,35 @@ type Evaluator struct {
 }
 
 // evalCache holds the values that depend only on (graph, DAGs) — OPTDAG
-// normalizations and per-pair DAG max-flows — so evaluators over the same
-// topology but different uncertainty boxes (the online controller's demand
-// updates) can share them.
+// normalizations, per-pair DAG max-flows, and the latest exact-LP optimal
+// basis — so evaluators over the same topology but different uncertainty
+// boxes (the online controller's demand updates) can share them. The basis
+// rides the same carry-through as the gpopt warm state: delta.Session's
+// UpdateBounds and Recover derive their evaluator via WithBox, which keeps
+// this cache, so exact normalizations after a demand drift warm-start from
+// the vertex of the previous epoch.
 type evalCache struct {
-	mu  sync.Mutex
-	opt map[uint64]float64
-	mf  map[[2]graph.NodeID]float64
+	mu    sync.Mutex
+	opt   map[uint64]float64
+	mf    map[[2]graph.NodeID]float64
+	basis *lp.Basis
+}
+
+// warmBasis snapshots the shared warm-start basis.
+func (c *evalCache) warmBasis() *lp.Basis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.basis
+}
+
+// setWarmBasis publishes a new warm-start basis (nil is ignored).
+func (c *evalCache) setWarmBasis(b *lp.Basis) {
+	if b == nil {
+		return
+	}
+	c.mu.Lock()
+	c.basis = b
+	c.mu.Unlock()
 }
 
 // NewEvaluator builds an evaluator for the given DAGs and uncertainty box.
@@ -130,30 +162,46 @@ func (ev *Evaluator) WithBox(box *demand.Box) *Evaluator {
 }
 
 // OptDAG returns the demands-aware optimal utilization of D within the
-// evaluator's DAGs (cached; exact LP on small graphs, FPTAS otherwise).
+// evaluator's DAGs (cached; exact LP up to ExactNodeLimit nodes, FPTAS
+// otherwise). Exact solves warm-start from — and refresh — the shared
+// basis cache; use it from serialized contexts (the adversarial loop's
+// scenario accumulation, sessions). PerfTop's internal parallel
+// normalization goes through optDAGWarm with a fixed basis snapshot
+// instead, so its results never depend on goroutine scheduling.
 func (ev *Evaluator) OptDAG(D *demand.Matrix) float64 {
+	v, basis, _ := ev.optDAGWarm(D, ev.cache.warmBasis())
+	ev.cache.setWarmBasis(basis)
+	return v
+}
+
+// optDAGWarm is OptDAG against an explicit warm basis. It returns the
+// (possibly cached) value, the optimal basis when a fresh exact solve
+// happened (nil otherwise), and whether a solve happened at all.
+func (ev *Evaluator) optDAGWarm(D *demand.Matrix, warm *lp.Basis) (float64, *lp.Basis, bool) {
 	h := hashMatrix(D)
 	c := ev.cache
 	c.mu.Lock()
 	if v, ok := c.opt[h]; ok {
 		c.mu.Unlock()
-		return v
+		return v, nil, false
 	}
 	c.mu.Unlock()
 	var v float64
+	var basis *lp.Basis
 	var err error
 	if ev.G.NumNodes() <= ev.cfg.ExactNodeLimit {
-		v, _, err = mcf.MinMLUExact(ev.G, ev.DAGs, D)
+		v, _, basis, err = mcf.MinMLUExactBasis(ev.G, ev.DAGs, D, warm)
 	} else {
 		v, _, err = mcf.MinMLUApprox(ev.G, ev.DAGs, D, ev.cfg.Eps)
 	}
 	if err != nil {
 		v = math.Inf(1)
+		basis = nil
 	}
 	c.mu.Lock()
 	c.opt[h] = v
 	c.mu.Unlock()
-	return v
+	return v, basis, true
 }
 
 // pairMaxFlow returns the maximum s→t flow within DAG_t (cached). The
@@ -298,15 +346,22 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 		}
 	}
 
-	// Normalize and evaluate candidates in parallel.
+	// Normalize and evaluate candidates in parallel. Every exact OPTDAG
+	// solve warm-starts from the same basis snapshot (taken before the
+	// fan-out) and the refreshed basis is published afterwards from the
+	// highest-indexed fresh solve — never from whichever goroutine finished
+	// last — so the numbers cannot depend on scheduling or worker count.
 	type cand struct {
 		ratio, mxlu, norm float64
 		D                 *demand.Matrix
 	}
 	results := make([]cand, len(candidates))
+	warmSnapshot := ev.cache.warmBasis()
+	bases := make([]*lp.Basis, len(candidates))
 	par.For(workers, len(candidates), func(i int) {
 		D := candidates[i]
-		norm := ev.OptDAG(D)
+		norm, basis, _ := ev.optDAGWarm(D, warmSnapshot)
+		bases[i] = basis
 		if norm <= 0 || math.IsInf(norm, 1) {
 			results[i] = cand{ratio: math.Inf(-1)}
 			return
@@ -318,6 +373,12 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 		mxlu := r.ParallelMaxUtilization(D, 1, ev.edgeBuf, ev.nodeBuf)
 		results[i] = cand{ratio: mxlu / norm, mxlu: mxlu, norm: norm, D: D}
 	})
+	for i := len(bases) - 1; i >= 0; i-- {
+		if bases[i] != nil {
+			ev.cache.setWarmBasis(bases[i])
+			break
+		}
+	}
 	all := make([]Result, 0, len(results)+len(singles))
 	all = append(all, singles...)
 	for _, c := range results {

@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON perf-trajectory file. `make bench` pipes the
-// headline benchmark suite through it into BENCH_PR3.json so the repo's
+// headline benchmark suite through it into BENCH_PR4.json so the repo's
 // performance record is diffable across PRs:
 //
-//	go test -run '^$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -cpu 1,4 . \
-//	    | benchjson -o BENCH_PR3.json
+//	go test -run '^$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute|ExactOPT|SlaveLP)' -cpu 1,4 . \
+//	    | benchjson -o BENCH_PR4.json
 //
 // Each result records the benchmark name, the corpus topology it
 // computes (when derivable from the name), the worker count (the -cpu
@@ -37,7 +37,7 @@ type Result struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 }
 
-// Report is the BENCH_PR3.json shape.
+// Report is the BENCH_PR4.json shape.
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	Goos        string `json:"goos,omitempty"`
@@ -58,6 +58,10 @@ var benchTopologies = map[string]string{
 	"BenchmarkComputeEndToEnd": "running-example",
 	"BenchmarkWarmRecompute":   "Geant",
 	"BenchmarkColdRecompute":   "Geant",
+	"BenchmarkExactOPT/sparse": "BICS",
+	"BenchmarkExactOPT/dense":  "BICS",
+	"BenchmarkSlaveLP/warm":    "Abilene",
+	"BenchmarkSlaveLP/cold":    "Abilene",
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
