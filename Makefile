@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz-smoke smoke-examples
+.PHONY: all build test vet race cover bench fuzz-smoke smoke-examples sweep
 
 all: build test
 
@@ -18,6 +18,24 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# cover prints the per-package coverage summary (the CI test job runs this
+# so coverage is visible on every push).
+cover:
+	$(GO) test -cover ./...
+
+# sweep is the cached corpus-sweep gate (DESIGN.md §8): run the golden
+# campaign fresh through the content-addressed cache, re-run it (must be
+# all cache hits and byte-identical), and diff the results against the
+# checked-in golden corpus — any numeric drift fails the target. CI runs
+# this on every push and uploads sweep.jsonl as the machine-readable
+# campaign artifact.
+sweep:
+	$(GO) run ./cmd/coyote-sweep run -campaign golden -cache .sweep-cache -out sweep.jsonl -v
+	$(GO) run ./cmd/coyote-sweep run -campaign golden -cache .sweep-cache -out sweep-rerun.jsonl
+	cmp sweep.jsonl sweep-rerun.jsonl
+	$(GO) run ./cmd/coyote-sweep status -campaign golden -cache .sweep-cache
+	$(GO) run ./cmd/coyote-sweep diff -golden testdata/golden sweep.jsonl
 
 # bench regenerates BENCH_PR4.json, the machine-readable perf trajectory
 # (BENCH_PR2.json / BENCH_PR3.json are kept as the historical record):

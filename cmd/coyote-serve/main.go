@@ -37,6 +37,7 @@ import (
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/scen"
 	"github.com/coyote-te/coyote/internal/serve"
+	"github.com/coyote-te/coyote/internal/sweep"
 	"github.com/coyote-te/coyote/internal/topo"
 )
 
@@ -55,6 +56,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = one per CPU; results identical for any value)")
 	quick := flag.Bool("quick", false, "reduced optimization effort (fast startup)")
 	failoverPlan := flag.Bool("failover", false, "precompute per-link failover configurations at startup")
+	sweepName := flag.String("sweep", "", "expose the /sweep endpoint for this campaign (golden, quick, full)")
+	sweepCache := flag.String("sweep-cache", "", "content-addressed result cache directory for /sweep")
 	flag.Parse()
 
 	g, name, err := buildTopology(*topoName, *topoFile, *gen, scen.Params{
@@ -98,8 +101,25 @@ func main() {
 	}
 	log.Printf("coyote-serve: ready in %v — PERF %.3f (ECMP %.3f)",
 		time.Since(start).Round(time.Millisecond), ses.Perf(), ses.ECMPPerf())
+	srv := serve.New(ses)
+	if *sweepName != "" {
+		campaign, err := sweep.Named(*sweepName, "")
+		if err != nil {
+			log.Fatalln("coyote-serve:", err)
+		}
+		opts := sweep.Options{Workers: *workers}
+		if *sweepCache != "" {
+			opts.Cache, err = sweep.Open(*sweepCache)
+			if err != nil {
+				log.Fatalln("coyote-serve:", err)
+			}
+		}
+		srv.EnableSweep(campaign, opts)
+		log.Printf("coyote-serve: /sweep enabled for the %s campaign (%d units, cache %q)",
+			campaign.Name, len(campaign.Units), *sweepCache)
+	}
 	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events; POST /update /fail /recover)", *addr)
-	log.Fatalln("coyote-serve:", http.ListenAndServe(*addr, serve.New(ses).Handler()))
+	log.Fatalln("coyote-serve:", http.ListenAndServe(*addr, srv.Handler()))
 }
 
 // buildTopology resolves exactly one of the three topology sources.

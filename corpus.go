@@ -1,6 +1,7 @@
 package coyote
 
 import (
+	"bytes"
 	"io"
 
 	"github.com/coyote-te/coyote/internal/demand"
@@ -31,6 +32,19 @@ func NewDemandMatrix(t *Topology) *DemandMatrix {
 // WriteText serializes the topology in the line-oriented text format
 // understood by ReadTopology (node/link/edge directives).
 func (t *Topology) WriteText(w io.Writer) error { return t.g.WriteText(w) }
+
+// CanonicalBytes returns the canonical text serialization of the topology
+// — the exact byte string the corpus-scale sweep harness (cmd/coyote-sweep,
+// DESIGN.md §8) hashes into content-addressed cache keys. Two topologies
+// with equal CanonicalBytes are byte-for-byte the same network, so their
+// sweep results are interchangeable cache entries.
+func (t *Topology) CanonicalBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.g.WriteText(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
 
 // WriteDOT emits a Graphviz rendering of the topology.
 func (t *Topology) WriteDOT(w io.Writer) error { return t.g.WriteDOT(w) }

@@ -1,0 +1,58 @@
+// The golden regression corpus: testdata/golden pins the full output of
+// the golden sweep campaign (every unit kind — registry experiments,
+// corpus topologies, generated scenarios — under the Quick configuration),
+// making the repo's entire numeric output a tier-1-testable artifact. Any
+// change that moves an MLU, stretch, or churn number anywhere in the
+// corpus fails this test; intentional changes regenerate the corpus with
+//
+//	go test -run TestGoldenCorpus -update .
+//
+// and land the refreshed testdata/golden files in the same commit, where
+// the diff review shows exactly which numbers moved.
+package coyote_test
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden from a fresh golden-campaign run")
+
+func TestGoldenCorpus(t *testing.T) {
+	campaign, err := sweep.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cache: the corpus must pin what the code computes today, not
+	// what some cache directory remembers.
+	rep, err := sweep.Run(campaign, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(campaign.Units) {
+		t.Fatalf("golden campaign ran %d of %d units", len(rep.Results), len(campaign.Units))
+	}
+
+	const dir = "testdata/golden"
+	if *update {
+		if err := sweep.WriteGolden(dir, rep.Results); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d units", dir, len(rep.Results))
+		return
+	}
+
+	golden, err := sweep.ReadGolden(dir)
+	if err != nil {
+		t.Fatalf("reading golden corpus (regenerate with -update): %v", err)
+	}
+	drifts := sweep.Diff(golden, rep.Results, 0)
+	for _, d := range drifts {
+		t.Errorf("golden drift: %s", d)
+	}
+	if len(drifts) > 0 {
+		t.Fatalf("%d golden drift(s) — if intentional, regenerate with: go test -run TestGoldenCorpus -update .", len(drifts))
+	}
+}

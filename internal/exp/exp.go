@@ -30,18 +30,27 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// WriteTo renders the table as aligned text.
+// WriteTo renders the table as aligned text. It is total over the whole
+// Table value space: a zero Table, nil Columns/Rows, and ragged rows
+// (shorter or longer than the header) all render without panicking — extra
+// cells get their own trailing columns, missing cells render empty.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	var sb strings.Builder
 	sb.WriteString(t.Title)
 	sb.WriteByte('\n')
-	widths := make([]int, len(t.Columns))
+	ncol := len(t.Columns)
+	for _, row := range t.Rows {
+		if len(row) > ncol {
+			ncol = len(row)
+		}
+	}
+	widths := make([]int, ncol)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -75,13 +84,50 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// normalized returns a copy of t whose nil slices are replaced by empty
+// ones, so the JSON encodings always carry "columns":[] / "rows":[] (never
+// null) and an empty table round-trips to an empty table. Ragged rows are
+// preserved as-is: raggedness is data, and both JSON forms and WriteTo
+// represent it faithfully.
+func (t *Table) normalized() *Table {
+	out := &Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	if out.Columns == nil {
+		out.Columns = []string{}
+	}
+	if out.Rows == nil {
+		out.Rows = [][]string{}
+	}
+	copied := false
+	for i, row := range t.Rows {
+		if row != nil {
+			continue
+		}
+		if !copied { // copy-on-write: don't mutate the caller's rows
+			rows := make([][]string, len(t.Rows))
+			copy(rows, t.Rows)
+			out.Rows = rows
+			copied = true
+		}
+		out.Rows[i] = []string{}
+	}
+	return out
+}
+
 // WriteJSON renders the table as indented JSON — the same shape as the
 // struct ({"title", "columns", "rows"}), for machine consumption of sweep
-// results.
+// results. nil Columns/Rows encode as empty arrays, never null.
 func (t *Table) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(t)
+	return enc.Encode(t.normalized())
+}
+
+// WriteJSONLine renders the table as one compact JSON line (no internal
+// newlines, one trailing '\n') — the JSONL building block the sweep
+// harness streams campaign results through. Like WriteJSON it never emits
+// null for missing Columns/Rows.
+func (t *Table) WriteJSONLine(w io.Writer) error {
+	return json.NewEncoder(w).Encode(t.normalized())
 }
 
 // f2 formats a ratio the way the paper's tables do (two decimals).

@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/scen"
+	"github.com/coyote-te/coyote/internal/spf"
+)
+
+// The property-based suite: over randomized topologies, DAG routings, and
+// traffic patterns, the emulator must conserve flow (Sent == Received +
+// Dropped, every step), keep drop rates inside [0, 1], deliver everything
+// when capacity is abundant, and drop (weakly) more as offered load grows.
+
+// randomSim builds a simulation on a random strongly connected topology
+// with randomized "downhill" DAG routings (splits over edges that strictly
+// decrease hop distance to the prefix owner — loop-free by construction)
+// and randomized multi-phase CBR flows. scale multiplies every flow rate.
+func randomSim(t *testing.T, seed int64, scale float64) *Sim {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gens := []struct {
+		name string
+		p    scen.Params
+	}{
+		{"waxman", scen.Params{N: 8 + rng.Intn(6), Seed: seed}},
+		{"ring", scen.Params{N: 6 + rng.Intn(6), M: 2, Seed: seed}},
+		{"grid", scen.Params{Rows: 2 + rng.Intn(2), Cols: 3, Seed: seed}},
+	}
+	pick := gens[rng.Intn(len(gens))]
+	g, err := scen.Generate(pick.name, pick.p)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	sim := New(g)
+
+	// 2–4 prefixes at distinct random owners.
+	owners := rng.Perm(g.NumNodes())[:2+rng.Intn(3)]
+	for pi, oi := range owners {
+		owner := graph.NodeID(oi)
+		dist := spf.HopDistance(g, owner)
+		split := make(map[graph.NodeID]map[graph.EdgeID]float64)
+		for u := 0; u < g.NumNodes(); u++ {
+			node := graph.NodeID(u)
+			if node == owner {
+				continue
+			}
+			var downhill []graph.EdgeID
+			for _, id := range g.Out(node) {
+				if dist[g.Edge(id).To] < dist[node] {
+					downhill = append(downhill, id)
+				}
+			}
+			if len(downhill) == 0 {
+				t.Fatalf("seed %d: node %d has no downhill edge toward %d", seed, u, oi)
+			}
+			// Random positive weights over a random nonempty subset.
+			n := 1 + rng.Intn(len(downhill))
+			weights := make(map[graph.EdgeID]float64, n)
+			sum := 0.0
+			for _, k := range rng.Perm(len(downhill))[:n] {
+				w := 0.1 + rng.Float64()
+				weights[downhill[k]] = w
+				sum += w
+			}
+			for id := range weights {
+				weights[id] /= sum
+			}
+			split[node] = weights
+		}
+		if err := sim.AddPrefix(&PrefixRouting{
+			Prefix: fmt.Sprintf("p%d", pi),
+			Owner:  owner,
+			Split:  split,
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// 1–3 flows toward this prefix with multi-phase rates.
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			src := graph.NodeID(rng.Intn(g.NumNodes()))
+			if src == owner {
+				continue
+			}
+			rates := make([]float64, 1+rng.Intn(3))
+			for i := range rates {
+				rates[i] = scale * 5 * rng.Float64()
+			}
+			if err := sim.AddFlow(&Flow{
+				Name:   fmt.Sprintf("f%d-%d", pi, f),
+				Src:    src,
+				Prefix: fmt.Sprintf("p%d", pi),
+				Rate:   PhaseRate(1, rates...),
+			}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+	return sim
+}
+
+// offered recomputes the aggregate offered load at time t independently of
+// the simulator, from the flow definitions alone.
+func offered(s *Sim, t float64) float64 {
+	sum := 0.0
+	for _, f := range s.Flows {
+		sum += f.Rate(t)
+	}
+	return sum
+}
+
+func TestPropFlowConservation(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		sim := randomSim(t, seed, 1)
+		stats, err := sim.Run(3, 0.25)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(stats) == 0 {
+			t.Fatalf("seed %d: no steps", seed)
+		}
+		for _, st := range stats {
+			// Conservation: every offered unit is either delivered or
+			// dropped, per step.
+			if d := math.Abs(st.Sent - (st.Received + st.Dropped)); d > 1e-9*(1+st.Sent) {
+				t.Errorf("seed %d t=%.2f: Sent %g != Received %g + Dropped %g",
+					seed, st.Time, st.Sent, st.Received, st.Dropped)
+			}
+			// Sent must equal the independently recomputed offered load.
+			if want := offered(sim, st.Time); math.Abs(st.Sent-want) > 1e-9*(1+want) {
+				t.Errorf("seed %d t=%.2f: Sent %g, flows offer %g", seed, st.Time, st.Sent, want)
+			}
+			if st.Received < -1e-12 || st.Received > st.Sent+1e-9*(1+st.Sent) {
+				t.Errorf("seed %d t=%.2f: Received %g outside [0, Sent=%g]", seed, st.Time, st.Received, st.Sent)
+			}
+			if r := st.DropRate(); r < 0 || r > 1+1e-12 {
+				t.Errorf("seed %d t=%.2f: drop rate %g outside [0,1]", seed, st.Time, r)
+			}
+		}
+	}
+}
+
+// TestPropAbundantCapacityLosesNothing pins the zero-congestion corner:
+// with every capacity raised above the total offered load, the fluid
+// fixed point must deliver everything (the routings are complete DAGs, so
+// nothing can be blackholed either).
+func TestPropAbundantCapacityLosesNothing(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		sim := randomSim(t, seed, 1)
+		peak := 0.0
+		for _, st := range mustRun(t, sim, 3, 0.5) {
+			if st.Sent > peak {
+				peak = st.Sent
+			}
+		}
+		// Rebuild the identical topology (same node and edge IDs: nodes
+		// and directed edges re-added in ID order) with every capacity
+		// above the total offered load, and rerun the same routings and
+		// flows on it.
+		big := graph.New()
+		for u := 0; u < sim.G.NumNodes(); u++ {
+			big.AddNode(sim.G.Name(graph.NodeID(u)))
+		}
+		for e := 0; e < sim.G.NumEdges(); e++ {
+			edge := sim.G.Edge(graph.EdgeID(e))
+			big.AddEdge(edge.From, edge.To, 10*peak+1, edge.Weight)
+		}
+		abundant := New(big)
+		for _, p := range sim.Prefixes {
+			cp := &PrefixRouting{Prefix: p.Prefix, Owner: p.Owner, Split: p.Split}
+			if err := abundant.AddPrefix(cp); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		abundant.Flows = sim.Flows
+		for _, st := range mustRun(t, abundant, 3, 0.5) {
+			if st.Dropped > 1e-9*(1+st.Sent) {
+				t.Errorf("seed %d t=%.2f: dropped %g with abundant capacity", seed, st.Time, st.Dropped)
+			}
+		}
+	}
+}
+
+// TestPropDropRateMonotoneInLoad scales every flow's rate up and checks
+// the cumulative drop rate never decreases: more offered load cannot make
+// the network relatively less lossy.
+func TestPropDropRateMonotoneInLoad(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		prev := -1.0
+		for _, scale := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+			sim := randomSim(t, seed, scale)
+			rate := CumulativeDropRate(mustRun(t, sim, 3, 0.25))
+			if rate < prev-1e-6 {
+				t.Errorf("seed %d: drop rate fell from %.9f to %.9f when load scaled to %g",
+					seed, prev, rate, scale)
+			}
+			prev = rate
+		}
+	}
+}
+
+func mustRun(t *testing.T, s *Sim, duration, dt float64) []StepStat {
+	t.Helper()
+	stats, err := s.Run(duration, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}

@@ -82,6 +82,27 @@ func For(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForErr is For for fallible leaves: fn(i) runs exactly once for every i
+// in [0, n) under the same determinism contract, every leaf runs to
+// completion even after a failure, and ForErr returns the error of the
+// lowest failing index (so the reported error does not depend on worker
+// count or scheduling).
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Pool recycles float64 scratch slices of a fixed length. It exists so the
 // evaluator's and optimizer's per-destination flow buffers are reused
 // across worker goroutines instead of reallocated per leaf.

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -67,6 +68,42 @@ func TestForDeterministicReduction(t *testing.T) {
 		if got := reduce(w); got != want {
 			t.Errorf("workers=%d: sum %v != serial %v", w, got, want)
 		}
+	}
+}
+
+func TestForErr(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		// No failures: every index runs, nil error.
+		var ran atomic.Int32
+		if err := ForErr(workers, 50, func(i int) error {
+			ran.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d of 50 leaves", workers, ran.Load())
+		}
+		// Failures at several indices: every leaf still runs, and the
+		// reported error is the lowest failing index regardless of
+		// scheduling.
+		ran.Store(0)
+		err := ForErr(workers, 50, func(i int) error {
+			ran.Add(1)
+			if i == 7 || i == 33 {
+				return fmt.Errorf("leaf %d", i)
+			}
+			return nil
+		})
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: failure stopped leaves early (%d of 50)", workers, ran.Load())
+		}
+		if err == nil || err.Error() != "leaf 7" {
+			t.Fatalf("workers=%d: err = %v, want leaf 7", workers, err)
+		}
+	}
+	if err := ForErr(4, 0, func(i int) error { return fmt.Errorf("leaf %d", i) }); err != nil {
+		t.Fatalf("n=0: err = %v", err)
 	}
 }
 

@@ -1,0 +1,29 @@
+package scen
+
+// SuiteEntry names one generated scenario of the standard sweep suite: a
+// topology generator with pinned parameters plus the demand model to sweep
+// it under. The Name is stable and unique — the corpus-scale sweep harness
+// (internal/sweep) uses it as part of the work-unit identity.
+type SuiteEntry struct {
+	Name   string
+	Gen    string
+	Params Params
+	Model  string
+}
+
+// StandardSuite returns the fixed generated-scenario suite of the
+// corpus-scale sweep: one representative of every generator family crossed
+// with a distinct demand workload, sized so the whole suite stays
+// tractable under the Quick configuration. The seed threads into every
+// generator, so the suite is reproducible yet refreshable (change the
+// seed, get a fresh but structurally identical corpus). Entries are
+// returned in a fixed, name-sorted order.
+func StandardSuite(seed int64) []SuiteEntry {
+	return []SuiteEntry{
+		{Name: "ba-16-gravity", Gen: "ba", Params: Params{N: 16, M: 2, Seed: seed}, Model: "gravity"},
+		{Name: "fattree-4-hotspot", Gen: "fattree", Params: Params{K: 4, Seed: seed}, Model: "hotspot"},
+		{Name: "grid-3x4-uniform", Gen: "grid", Params: Params{Rows: 3, Cols: 4, Seed: seed}, Model: "uniform"},
+		{Name: "ring-12-flash", Gen: "ring", Params: Params{N: 12, M: 3, Seed: seed}, Model: "flash"},
+		{Name: "waxman-16-gravity", Gen: "waxman", Params: Params{N: 16, Seed: seed}, Model: "gravity"},
+	}
+}

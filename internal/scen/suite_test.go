@@ -1,0 +1,59 @@
+package scen
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// TestStandardSuite pins the suite's contract: unique sorted names, every
+// generator and model resolvable, every topology deterministic for a fixed
+// seed, and the seed actually threaded through to the generators.
+func TestStandardSuite(t *testing.T) {
+	suite := StandardSuite(7)
+	if len(suite) == 0 {
+		t.Fatal("empty standard suite")
+	}
+	seen := make(map[string]bool)
+	names := make([]string, 0, len(suite))
+	for _, e := range suite {
+		if seen[e.Name] {
+			t.Fatalf("duplicate suite entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		names = append(names, e.Name)
+		if e.Params.Seed != 7 {
+			t.Errorf("%s: seed not threaded (got %d)", e.Name, e.Params.Seed)
+		}
+		found := false
+		for _, m := range Models() {
+			if m == e.Model {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unknown model %q", e.Name, e.Model)
+		}
+		g1, err := Generate(e.Gen, e.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		g2, err := Generate(e.Gen, e.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := g1.WriteText(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.WriteText(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: generator not deterministic", e.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("suite names not sorted: %v", names)
+	}
+}

@@ -16,6 +16,13 @@
 //	POST /fail      {"from":"a","to":"b"} fails the named link
 //	POST /recover   {"from":"a","to":"b"} recovers it
 //
+// With EnableSweep, the server additionally exposes the corpus-scale
+// sweep harness (internal/sweep, DESIGN.md §8):
+//
+//	GET  /sweep     campaign status: units, cached count, run counters
+//	POST /sweep     run the campaign through the content-addressed result
+//	                cache and return the report
+//
 // Mutations recompute synchronously and return the resulting event, so a
 // client sees the post-transition PERF in the response. The controller
 // inherits the repo's determinism contract: for a fixed seed and mutation

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/delta"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/sweep"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+// newSweepServer wires a server to a micro-campaign (the three cheapest
+// registry experiments) backed by a temp-dir cache.
+func newSweepServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := topo.Load("Gambia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := delta.NewSession(g, demand.MarginBox(demand.Gravity(g, 1), 2), delta.Config{
+		OptIters: 40,
+		AdvIters: 1,
+		Samples:  2,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ses)
+	srv.EnableSweep(sweep.Campaign{
+		Name:  "micro",
+		Cfg:   exp.Quick(),
+		Units: sweep.Experiments("negative-np", "negative-path", "running"),
+	}, sweep.Options{Cache: cache, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newSweepServer(t)
+
+	var status map[string]any
+	getJSON(t, ts.URL+"/sweep", &status)
+	if status["campaign"] != "micro" || status["unit_count"].(float64) != 3 {
+		t.Fatalf("status = %v", status)
+	}
+	if status["cached"].(float64) != 0 || status["runs"].(float64) != 0 {
+		t.Fatalf("fresh server reports prior state: %v", status)
+	}
+
+	// First run computes everything.
+	resp, body := postJSON(t, ts.URL+"/sweep", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /sweep: status %d (%v)", resp.StatusCode, body)
+	}
+	if body["misses"].(float64) != 3 || body["hits"].(float64) != 0 {
+		t.Fatalf("first run: %v hits, %v misses", body["hits"], body["misses"])
+	}
+	if _, ok := body["results"]; !ok {
+		t.Fatal("first run: no results in response")
+	}
+
+	// Second run is all cache hits, and verify mode agrees.
+	resp, body = postJSON(t, ts.URL+"/sweep?results=0", map[string]any{"verify": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST /sweep: status %d (%v)", resp.StatusCode, body)
+	}
+	if body["hits"].(float64) != 3 || body["misses"].(float64) != 0 {
+		t.Fatalf("second run: %v hits, %v misses", body["hits"], body["misses"])
+	}
+	if _, ok := body["results"]; ok {
+		t.Fatal("results=0 still returned tables")
+	}
+
+	// Status now reflects the cache and counters.
+	getJSON(t, ts.URL+"/sweep", &status)
+	if status["cached"].(float64) != 3 || status["runs"].(float64) != 2 {
+		t.Fatalf("post-run status = %v", status)
+	}
+
+	// Unit filter runs a sub-campaign; unknown units are rejected.
+	resp, body = postJSON(t, ts.URL+"/sweep", map[string]any{"units": []string{"exp/running"}})
+	if resp.StatusCode != http.StatusOK || body["unit_count"].(float64) != 1 {
+		t.Fatalf("filtered run: status %d body %v", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/sweep", map[string]any{"units": []string{"exp/nope"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown unit filter: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The golden corpus is the campaign result set checked into
+// testdata/golden: one indented JSON file per unit, named by the unit ID
+// with '/' mangled to '__' so IDs stay filesystem-safe. The root
+// golden_test.go compares a fresh golden-campaign run against it (exact,
+// tol 0) and regenerates it under -update; the CI sweep job does the same
+// comparison through `coyote-sweep diff -golden`.
+
+// goldenFile maps a unit ID to its file name inside the golden directory.
+func goldenFile(unit string) string {
+	return strings.ReplaceAll(unit, "/", "__") + ".json"
+}
+
+// goldenUnit inverts goldenFile.
+func goldenUnit(name string) string {
+	return strings.ReplaceAll(strings.TrimSuffix(name, ".json"), "__", "/")
+}
+
+// WriteGolden replaces dir's contents with one JSON file per result. Stale
+// files from units no longer in the campaign are removed, so the directory
+// always mirrors exactly one campaign run.
+func WriteGolden(dir string, results []Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	keep := make(map[string]bool, len(results))
+	for _, r := range results {
+		keep[goldenFile(r.Unit)] = true
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".json") && !keep[ent.Name()] {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range results {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, goldenFile(r.Unit))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadGolden loads every golden file in dir, sorted by unit ID.
+func ReadGolden(dir string) ([]Result, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("sweep: golden file %s: %w", ent.Name(), err)
+		}
+		if want := goldenUnit(ent.Name()); r.Unit != want {
+			return nil, fmt.Errorf("sweep: golden file %s records unit %q", ent.Name(), r.Unit)
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Unit < results[j].Unit })
+	return results, nil
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardParity is the cross-process determinism contract in one
+// process: a campaign split into n shards for n ∈ {1, 2, 4}, at several
+// worker counts, with and without a shared cache, must merge to the
+// byte-identical JSONL a serial 1-shard run produces. Run under -race in
+// CI, this also vets the runner's concurrency (shared cache directory,
+// in-order stream flushing) under the race detector.
+func TestShardParity(t *testing.T) {
+	c := tinyCampaign(t)
+
+	var baseline bytes.Buffer
+	if _, err := Run(c, Options{Workers: 1, Stream: &baseline}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The informative corners of (shards × workers × cache): parallel
+	// workers at one shard, every shard count at least once, and shared
+	// caches exercised under worker concurrency.
+	cases := []struct {
+		shards, workers int
+		withCache       bool
+	}{
+		{shards: 1, workers: 3, withCache: false},
+		{shards: 2, workers: 3, withCache: true},
+		{shards: 4, workers: 1, withCache: false},
+		{shards: 4, workers: 3, withCache: true},
+	}
+	for _, tc := range cases {
+		var cache *Cache
+		if tc.withCache {
+			var err error
+			cache, err = Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		shardResults := make([][]Result, tc.shards)
+		for s := 0; s < tc.shards; s++ {
+			rep, err := Run(c, Options{
+				Cache:   cache,
+				Shard:   s,
+				Shards:  tc.shards,
+				Workers: tc.workers,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d cache=%v shard %d: %v", tc.shards, tc.workers, tc.withCache, s, err)
+			}
+			shardResults[s] = rep.Results
+		}
+		merged, err := MergeResults(shardResults...)
+		if err != nil {
+			t.Fatalf("shards=%d: merge: %v", tc.shards, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, merged); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), baseline.Bytes()) {
+			t.Errorf("shards=%d workers=%d cache=%v: merged JSONL differs from serial baseline",
+				tc.shards, tc.workers, tc.withCache)
+		}
+	}
+}
+
+// TestShardPartition pins the shard protocol itself: every unit lands in
+// exactly one shard, for any shard count.
+func TestShardPartition(t *testing.T) {
+	c := tinyCampaign(t)
+	for _, shards := range []int{2, 3, len(c.Units) + 3} {
+		seen := make(map[string]int)
+		for s := 0; s < shards; s++ {
+			rep, err := Run(c, Options{Shard: s, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rep.Results {
+				seen[r.Unit]++
+			}
+		}
+		if len(seen) != len(c.Units) {
+			t.Fatalf("shards=%d: %d distinct units ran, want %d", shards, len(seen), len(c.Units))
+		}
+		for unit, n := range seen {
+			if n != 1 {
+				t.Fatalf("shards=%d: unit %s ran %d times", shards, unit, n)
+			}
+		}
+	}
+}
