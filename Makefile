@@ -37,29 +37,35 @@ sweep:
 	$(GO) run ./cmd/coyote-sweep status -campaign golden -cache .sweep-cache
 	$(GO) run ./cmd/coyote-sweep diff -golden testdata/golden sweep.jsonl
 
-# bench regenerates BENCH_PR4.json, the machine-readable perf trajectory
-# (BENCH_PR2.json / BENCH_PR3.json are kept as the historical record):
+# bench regenerates BENCH_PR6.json, the machine-readable perf trajectory
+# (BENCH_PR2/PR3/PR4.json are kept as the historical record):
 # BenchmarkCompute* (the headline end-to-end pipeline benchmarks) and the
 # online controller's warm-vs-cold recompute pair at 1 and 4 workers,
-# plus the sparse-LP core pair — BenchmarkExactOPT (sparse vs dense exact
-# OPTDAG on the largest corpus topology) and BenchmarkSlaveLP (per-link
-# basis-chain warm start vs cold) — parsed into JSON by
+# plus the sparse-LP core trio — BenchmarkExactOPT (sparse vs dense exact
+# OPTDAG on the largest corpus topology), BenchmarkSlaveLP (per-link
+# basis-chain warm start vs cold), and BenchmarkDualRestart (RHS-edit
+# re-solve via the dual simplex vs a cold rebuild, with pivots/op
+# metrics backing the <0.6× warm-iteration target) — parsed into JSON by
 # internal/tools/benchjson (which also records the host CPU count — the
 # key to reading per-worker numbers on small runners). CI runs this on
 # every push; commit the refreshed file when the numbers move materially.
 bench:
-	( $(GO) test -run '^$$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute)' -benchtime 2x -cpu 1,4 . && \
-	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x . ) \
+	( $(GO) test -run '^$$' -bench 'BenchmarkCompute' -benchtime 2x -cpu 1,4 . && \
+	  $(GO) test -run '^$$' -bench 'Benchmark(Warm|Cold)Recompute' -benchtime 4x -cpu 1,4 . && \
+	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDualRestart' -benchtime 20x . ) \
 		| tee /dev/stderr \
-		| $(GO) run ./internal/tools/benchjson -o BENCH_PR4.json
+		| $(GO) run ./internal/tools/benchjson -o BENCH_PR6.json
 
 # fuzz-smoke runs each native fuzz target briefly — the CI gate that
-# malformed real-world topology files error instead of panicking.
+# malformed real-world topology and MPS files error instead of panicking
+# (and, for MPS, that everything parseable round-trips byte-stably).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGraphML$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSNDlib$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime 15s ./internal/scen
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMPS$$' -fuzztime 15s ./internal/lp
 
 # smoke-examples builds and runs every examples/* binary (CI does the same
 # so examples cannot silently rot). gravitysweep is the slow one; the

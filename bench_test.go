@@ -14,6 +14,8 @@ import (
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/mcf"
 	"github.com/coyote-te/coyote/internal/oblivious"
 	"github.com/coyote-te/coyote/internal/topo"
@@ -292,6 +294,90 @@ func BenchmarkExactOPT(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkDualRestart measures the PR-6 headline: re-solving the exact
+// OPTDAG LP after demand (RHS) edits from the carried basis, where the
+// dual simplex repairs primal infeasibility in place, versus rebuilding
+// and cold-solving the edited instance. The pivots/op metric exposes the
+// iteration ratio behind the wall-clock gap (ROADMAP target: warm well
+// under 0.6× cold).
+func BenchmarkDualRestart(b *testing.B) {
+	g, err := topo.Load("NSF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	D := demand.Gravity(g, 1)
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	// A deterministic drift cycle: each step rescales one source's demand
+	// toward one destination, the bound-only edit the dual restart targets.
+	type edit struct {
+		s, t  int
+		scale float64
+	}
+	var edits []edit
+	for i := 0; i < 8; i++ {
+		edits = append(edits, edit{
+			s:     (i * 5) % n,
+			t:     (i*3 + 1) % n,
+			scale: []float64{1.7, 0.6, 2.3, 0.45}[i%4],
+		})
+	}
+	b.Run("dual-warm", func(b *testing.B) {
+		mm := mcf.NewMinMLUModel(g, dags, D)
+		_, _, basis, err := mm.Solve(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur := D.Clone()
+		lp.ResetGlobalStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			if e.s == e.t || cur.D[e.s*n+e.t] <= 0 {
+				e.s = (e.s + 1) % n
+			}
+			if e.s == e.t || cur.D[e.s*n+e.t] <= 0 {
+				continue
+			}
+			d := cur.D[e.s*n+e.t] * e.scale
+			cur.D[e.s*n+e.t] = d
+			if err := mm.SetDemand(graph.NodeID(e.s), graph.NodeID(e.t), d); err != nil {
+				b.Fatal(err)
+			}
+			_, _, nb, err := mm.Solve(&lp.SolveOptions{Basis: basis})
+			if err != nil {
+				b.Fatal(err)
+			}
+			basis = nb
+		}
+		b.StopTimer()
+		st := lp.GlobalStats()
+		b.ReportMetric(float64(st.Iterations)/float64(b.N), "pivots/op")
+		b.ReportMetric(float64(st.DualIterations)/float64(b.N), "dual-pivots/op")
+	})
+	b.Run("cold", func(b *testing.B) {
+		cur := D.Clone()
+		lp.ResetGlobalStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			if e.s == e.t || cur.D[e.s*n+e.t] <= 0 {
+				e.s = (e.s + 1) % n
+			}
+			if e.s == e.t || cur.D[e.s*n+e.t] <= 0 {
+				continue
+			}
+			cur.D[e.s*n+e.t] *= e.scale
+			if _, _, _, err := mcf.MinMLUExactBasis(g, dags, cur, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := lp.GlobalStats()
+		b.ReportMetric(float64(st.Iterations)/float64(b.N), "pivots/op")
 	})
 }
 

@@ -37,7 +37,7 @@ func main() {
 		model    = flag.String("demand", "gravity", "demand model for -topo-file sweeps")
 		quick    = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
 		workers  = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
-		lpStats  = flag.Bool("lp-stats", false, "print sparse-LP solver statistics (iterations, refactorizations, warm-start hit rate) after each run")
+		lpStats  = flag.Bool("lp-stats", false, "print sparse-LP solver statistics (iterations, refactorizations, warm-start and dual-restart hit rates, presolve reductions) after each run")
 	)
 	flag.Parse()
 	printLPStats = *lpStats
@@ -132,9 +132,11 @@ func reportLPStats(run string) {
 		return
 	}
 	st := lp.GlobalStats()
-	fmt.Printf("[lp-stats %s] solves=%d iterations=%d phase1=%d refactorizations=%d warm=%d/%d (hit rate %.0f%%) dense-fallbacks=%d\n\n",
-		run, st.Solves, st.Iterations, st.Phase1Iterations, st.Refactorizations,
-		st.WarmHits, st.WarmAttempts, 100*st.WarmHitRate(), st.DenseFallbacks)
+	fmt.Printf("[lp-stats %s] solves=%d iterations=%d phase1=%d dual=%d refactorizations=%d warm=%d/%d (hit rate %.0f%%) dual-restarts=%d/%d (hit rate %.0f%%) presolve=%d solves (-%d rows, -%d cols) dense-fallbacks=%d\n\n",
+		run, st.Solves, st.Iterations, st.Phase1Iterations, st.DualIterations, st.Refactorizations,
+		st.WarmHits, st.WarmAttempts, 100*st.WarmHitRate(),
+		st.DualHits, st.DualAttempts, 100*st.DualHitRate(),
+		st.PresolveSolves, st.PresolveRows, st.PresolveCols, st.DenseFallbacks)
 }
 
 func fatal(err error) {

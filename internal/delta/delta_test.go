@@ -322,4 +322,49 @@ func TestBasisCarriesThroughUpdateBounds(t *testing.T) {
 	if st.DenseFallbacks != 0 {
 		t.Fatalf("%d dense fallbacks during a session update", st.DenseFallbacks)
 	}
+	// Dual-restart accounting must stay coherent with the warm channel: the
+	// dual phase only ever runs on an accepted warm basis, and a verdict
+	// implies an attempt. (Whether it fires at all depends on how far the
+	// box moved the carried vertex.)
+	if st.DualAttempts > st.WarmHits {
+		t.Fatalf("dual attempts %d exceed warm hits %d", st.DualAttempts, st.WarmHits)
+	}
+	if st.DualHits > st.DualAttempts {
+		t.Fatalf("dual hits %d exceed attempts %d", st.DualHits, st.DualAttempts)
+	}
+	if st.DualIterations > 0 && st.DualAttempts == 0 {
+		t.Fatalf("%d dual iterations recorded without a dual attempt", st.DualIterations)
+	}
+	t.Logf("update: %d solves, warm %d/%d, dual %d/%d (%d pivots)",
+		st.Solves, st.WarmHits, st.WarmAttempts, st.DualHits, st.DualAttempts, st.DualIterations)
+}
+
+// TestDualRepairsScaledBoxUpdate forces the dual channel inside a session:
+// a pure demand rescale is a bound/RHS-only drift, so carrying the basis
+// into the scaled box must repair primal infeasibility via the dual
+// simplex rather than re-running phase 1 from scratch.
+func TestDualRepairsScaledBoxUpdate(t *testing.T) {
+	s, base := newNSFSession(t, testCfg())
+	var totalDualHits uint64
+	for i, scale := range []float64{1.6, 0.55, 2.2} {
+		lp.ResetGlobalStats()
+		if _, err := s.UpdateBounds(demand.MarginBox(base.Clone().Scale(scale), 2)); err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		st := lp.GlobalStats()
+		if i > 0 && st.WarmHits == 0 {
+			t.Fatalf("scale %g: warm basis not carried", scale)
+		}
+		if st.Phase1Iterations > 0 && st.DualAttempts == 0 && st.WarmHits > 0 {
+			t.Logf("scale %g: phase 1 ran on a warm solve without a dual attempt "+
+				"(%d iters) — auto trigger declined the basis", scale, st.Phase1Iterations)
+		}
+		totalDualHits += st.DualHits
+		t.Logf("scale %g: warm %d/%d, dual %d/%d (%d dual pivots, %d phase-1)",
+			scale, st.WarmHits, st.WarmAttempts, st.DualHits, st.DualAttempts,
+			st.DualIterations, st.Phase1Iterations)
+	}
+	if totalDualHits == 0 {
+		t.Fatal("dual simplex never repaired a scaled-box update; the MethodAuto trigger is dead in sessions")
+	}
 }

@@ -23,11 +23,12 @@ var Inf = math.Inf(1)
 // The zero value is not usable; create models with NewModel. Models are
 // not safe for concurrent use.
 type Model struct {
-	sense Sense
-	obj   []float64
-	vlo   []float64
-	vup   []float64
-	rows  []mrow
+	sense     Sense
+	obj       []float64
+	objOffset float64 // constant added to every objective value
+	vlo       []float64
+	vup       []float64
+	rows      []mrow
 
 	built *spxProb // cached engine form; invalidated by AddRow/AddVar
 }
@@ -74,6 +75,14 @@ func (m *Model) NumRows() int { return len(m.rows) }
 // objective does not invalidate a warm-start basis: the previous optimal
 // vertex stays primal feasible, so re-solving skips phase 1 entirely.
 func (m *Model) SetObjective(v int, c float64) { m.obj[v] = c }
+
+// SetObjectiveOffset sets the constant term added to every objective value
+// (MPS files express it as an RHS entry on the objective row). It does not
+// affect the optimizer's choices, only the reported Objective.
+func (m *Model) SetObjectiveOffset(c float64) { m.objOffset = c }
+
+// ObjectiveOffset returns the constant objective term.
+func (m *Model) ObjectiveOffset() float64 { return m.objOffset }
 
 // SetVarBounds replaces the bounds of variable v.
 func (m *Model) SetVarBounds(v int, lo, up float64) {
@@ -125,16 +134,40 @@ type SolveOptions struct {
 	// is ignored and the solve starts cold; Solution.Stats reports which
 	// happened.
 	Basis *Basis
+	// Method selects the simplex algorithm. The default, MethodAuto, runs
+	// the dual simplex exactly when it dominates: an accepted warm basis
+	// that bound/RHS edits have made primal infeasible while leaving it
+	// dual feasible. MethodDual forces a dual attempt (with an automatic
+	// switch to the primal phases when dual feasibility is unreachable);
+	// MethodPrimal forces the primal two-phase path.
+	Method Method
+	// DualPricing selects the dual simplex leaving-row rule (Devex by
+	// default, Dantzig as the simple alternative). Both share the Bland
+	// anti-cycling fallback.
+	DualPricing DualPricing
+	// Presolve runs the reduction pass (singleton rows/columns, fixed and
+	// empty removal, bound tightening) before the simplex and maps the
+	// solution — including row duals — back through postsolve. It is
+	// skipped when a warm Basis is supplied: a basis indexes the unreduced
+	// model. A postsolve whose recovered solution fails the KKT check
+	// triggers a transparent re-solve without presolve, so enabling it
+	// never changes results beyond round-off.
+	Presolve bool
 }
 
 // SolveStats describes one sparse solve.
 type SolveStats struct {
-	Iterations       int  // total simplex iterations (both phases)
-	Phase1Iterations int  // iterations spent restoring feasibility
+	Iterations       int  // total simplex iterations (all phases)
+	Phase1Iterations int  // iterations spent restoring feasibility (primal phase 1)
+	DualIterations   int  // iterations spent in the dual simplex phase
 	Refactorizations int  // LU (re)factorizations, including the initial one
 	WarmAttempted    bool // a warm basis was supplied
 	WarmUsed         bool // ... and it was accepted
+	DualAttempted    bool // the dual simplex phase was entered
+	DualUsed         bool // ... and it ran to a verdict (no budget bailout)
 	DenseFallback    bool // the sparse engine failed and the dense oracle answered
+	PresolveRows     int  // rows removed by presolve
+	PresolveCols     int  // columns removed by presolve
 }
 
 // build materializes the engine form (CSC structural matrix, bound arrays,
@@ -235,8 +268,13 @@ func (m *Model) mergeDuplicates(p *spxProb) {
 // Stats — it should never happen on the formulations in this repository).
 func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 	var warm *Basis
+	var sopts spxOpts
 	if opts != nil {
 		warm = opts.Basis
+		sopts = spxOpts{method: opts.Method, pricing: opts.DualPricing}
+		if opts.Presolve && warm == nil {
+			return m.solvePresolved(sopts)
+		}
 	}
 	// A variable with crossed bounds makes the model trivially infeasible;
 	// the engine's bound logic assumes lo ≤ up everywhere.
@@ -251,7 +289,7 @@ func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 		}
 	}
 	p := m.build()
-	res, stats, err := spxSolve(p, warm)
+	res, stats, err := spxSolve(p, warm, sopts)
 	globalStats.record(stats)
 	if err != nil {
 		// Numerical failure: answer from the dense oracle instead.
@@ -267,7 +305,7 @@ func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 	sol := &Solution{Status: res.status, Stats: stats}
 	if res.status == Optimal {
 		sol.X = res.x[:len(m.obj):len(m.obj)]
-		obj := 0.0
+		obj := m.objOffset
 		for j, c := range m.obj {
 			obj += c * sol.X[j]
 		}
@@ -401,7 +439,7 @@ func (m *Model) SolveDense() (*Solution, error) {
 				sol.X[j] = mp.shift + mp.sign*dsol.X[mp.pos]
 			}
 		}
-		sol.Objective = dsol.Objective + constant
+		sol.Objective = dsol.Objective + constant + m.objOffset
 	}
 	return sol, nil
 }

@@ -1,0 +1,631 @@
+// Presolve/postsolve pass for Model solves.
+//
+// Presolve shrinks a model before the simplex sees it — fixed variables are
+// substituted out, empty and singleton rows disappear (a singleton row is
+// just a variable bound wearing a row costume), empty columns are pinned to
+// their best bound, free column singletons absorb their equality row, and
+// rows that variable bounds already satisfy are dropped. Postsolve then maps
+// the reduced solution back onto the original model, including the duals of
+// the removed rows: a removed redundant/empty row is slack (dual 0), a
+// singleton row that supplied the binding bound of its variable inherits the
+// variable's leftover reduced cost (y = d/a), and a free column singleton's
+// equality row has its dual pinned by stationarity of the eliminated column
+// (y = c/a).
+//
+// The recovered solution is validated against the original model's KKT
+// conditions; any violation triggers a transparent re-solve without
+// presolve, so enabling presolve can never change results beyond round-off.
+// Presolved solves return Basis == nil — a basis indexes the reduced model
+// and would be meaningless (and dangerous) against the original.
+package lp
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+const (
+	psTol     = 1e-9 // exact-decision tolerance (bound crossings, zero coeffs)
+	psFeasTol = 1e-7 // feasibility slack for redundancy/validation checks
+	psKKTTol  = 1e-6 // postsolve KKT validation tolerance (scaled)
+	psMaxPass = 8    // reduction fixpoint pass cap
+)
+
+type psOpKind int8
+
+const (
+	psFixVar   psOpKind = iota // x[v] := val (bounds met, substituted out)
+	psEmptyCol                 // x[v] := val (no rows; fixed at best bound)
+	psDropRow                  // row removed as empty or redundant; dual 0
+	psSingletonRow             // row a·x[v] ∈ [rlo,rup] became a bound on v
+	psFreeColSingleton         // free v in one equality row; both removed
+)
+
+// psOp is one reduction, replayed in reverse by postsolve.
+type psOp struct {
+	kind  psOpKind
+	row   int     // original row index (−1 when variable-only)
+	v     int     // original variable index (−1 when row-only)
+	a     float64 // row coefficient of v (singleton kinds)
+	val   float64 // fixed value / equality rhs after substitutions
+	dualY float64 // precomputed row dual (psFreeColSingleton)
+	terms []Term  // remaining row terms, original var indices (psFreeColSingleton)
+}
+
+// psState is the mutable reduction workspace over copies of the model data.
+type psState struct {
+	m        *Model
+	lo, up   []float64 // variable bounds, tightened in place
+	obj      []float64 // objective in the model's own sense, adjusted in place
+	rows     []psRow
+	varAlive []bool
+	colCount []int // alive-row references per variable
+	ops      []psOp
+}
+
+type psRow struct {
+	terms  []Term // merged, original var indices; dead vars already removed
+	lo, up float64
+	alive  bool
+}
+
+// solvePresolved is Model.Solve's presolve path: reduce, solve the reduced
+// model with the same method options, postsolve, validate.
+func (m *Model) solvePresolved(sopts spxOpts) (*Solution, error) {
+	st := newPSState(m)
+	status := st.reduce()
+	nRemRows, nRemCols := st.removedCounts()
+	atomic.AddUint64(&globalStats.presolveSolves, 1)
+	atomic.AddUint64(&globalStats.presolveRows, uint64(nRemRows))
+	atomic.AddUint64(&globalStats.presolveCols, uint64(nRemCols))
+	if status != Optimal { // reduction proved Infeasible/Unbounded outright
+		return &Solution{Status: status, Stats: SolveStats{PresolveRows: nRemRows, PresolveCols: nRemCols}}, nil
+	}
+
+	reduced, varMap, rowMap := st.buildReduced()
+	rsol, err := reduced.Solve(&SolveOptions{Method: sopts.method, DualPricing: sopts.pricing})
+	if err != nil {
+		return nil, err
+	}
+	stats := rsol.Stats
+	stats.PresolveRows = nRemRows
+	stats.PresolveCols = nRemCols
+	if rsol.Status != Optimal {
+		// The reductions preserve feasibility and boundedness, so the
+		// reduced verdict is the original's verdict.
+		return &Solution{Status: rsol.Status, Stats: stats}, nil
+	}
+
+	x, duals := st.postsolve(rsol, varMap, rowMap)
+	sol := &Solution{Status: Optimal, X: x, Duals: duals, Stats: stats}
+	sol.Objective = m.objOffset
+	for j, c := range m.obj {
+		sol.Objective += c * x[j]
+	}
+	if !m.kktValid(x, duals) {
+		// Postsolve lost the thread (a dual assignment the reductions could
+		// not disambiguate). Fall back to the exact path, transparently.
+		fsol, ferr := m.Solve(&SolveOptions{Method: sopts.method, DualPricing: sopts.pricing})
+		if ferr != nil {
+			return nil, ferr
+		}
+		fsol.Stats.PresolveRows = 0
+		fsol.Stats.PresolveCols = 0
+		return fsol, nil
+	}
+	return sol, nil
+}
+
+func newPSState(m *Model) *psState {
+	n := len(m.obj)
+	st := &psState{
+		m:        m,
+		lo:       append([]float64(nil), m.vlo...),
+		up:       append([]float64(nil), m.vup...),
+		obj:      append([]float64(nil), m.obj...),
+		rows:     make([]psRow, len(m.rows)),
+		varAlive: make([]bool, n),
+		colCount: make([]int, n),
+	}
+	for j := range st.varAlive {
+		st.varAlive[j] = true
+	}
+	for i, r := range m.rows {
+		// Merge duplicate variables up front so singleton detection is exact.
+		merged := make(map[int]float64, len(r.terms))
+		var order []int
+		for _, t := range r.terms {
+			if _, seen := merged[t.Var]; !seen {
+				order = append(order, t.Var)
+			}
+			merged[t.Var] += t.Coeff
+		}
+		terms := make([]Term, 0, len(order))
+		for _, v := range order {
+			if c := merged[v]; c != 0 {
+				terms = append(terms, Term{Var: v, Coeff: c})
+				st.colCount[v]++
+			}
+		}
+		st.rows[i] = psRow{terms: terms, lo: r.lo, up: r.up, alive: true}
+	}
+	return st
+}
+
+func (st *psState) removedCounts() (rows, cols int) {
+	for _, r := range st.rows {
+		if !r.alive {
+			rows++
+		}
+	}
+	for _, a := range st.varAlive {
+		if !a {
+			cols++
+		}
+	}
+	return
+}
+
+// reduce applies the reduction rules to fixpoint (capped) and returns
+// Optimal when a reduced model remains to be solved, or a terminal verdict.
+func (st *psState) reduce() Status {
+	for pass := 0; pass < psMaxPass; pass++ {
+		changed := false
+		if s := st.rowPass(&changed); s != Optimal {
+			return s
+		}
+		if s := st.colPass(&changed); s != Optimal {
+			return s
+		}
+		if s := st.redundancyPass(&changed); s != Optimal {
+			return s
+		}
+		if !changed {
+			break
+		}
+	}
+	return Optimal
+}
+
+// rowPass removes empty rows and converts singleton rows into variable
+// bounds.
+func (st *psState) rowPass(changed *bool) Status {
+	for i := range st.rows {
+		r := &st.rows[i]
+		if !r.alive {
+			continue
+		}
+		switch len(r.terms) {
+		case 0:
+			if r.lo > psFeasTol || r.up < -psFeasTol {
+				return Infeasible
+			}
+			r.alive = false
+			st.ops = append(st.ops, psOp{kind: psDropRow, row: i, v: -1})
+			*changed = true
+		case 1:
+			t := r.terms[0]
+			nlo, nup := -Inf, Inf
+			if t.Coeff > 0 {
+				if r.lo > -spxInf {
+					nlo = r.lo / t.Coeff
+				}
+				if r.up < spxInf {
+					nup = r.up / t.Coeff
+				}
+			} else {
+				if r.up < spxInf {
+					nlo = r.up / t.Coeff
+				}
+				if r.lo > -spxInf {
+					nup = r.lo / t.Coeff
+				}
+			}
+			if nlo > st.lo[t.Var] {
+				st.lo[t.Var] = nlo
+			}
+			if nup < st.up[t.Var] {
+				st.up[t.Var] = nup
+			}
+			if st.lo[t.Var] > st.up[t.Var] {
+				if st.lo[t.Var]-st.up[t.Var] > psFeasTol*(1+math.Abs(st.lo[t.Var])) {
+					return Infeasible
+				}
+				st.lo[t.Var] = st.up[t.Var] // round-off crossing: collapse
+			}
+			r.alive = false
+			st.colCount[t.Var]--
+			st.ops = append(st.ops, psOp{kind: psSingletonRow, row: i, v: t.Var, a: t.Coeff})
+			*changed = true
+		}
+	}
+	return Optimal
+}
+
+// colPass fixes variables with equal bounds, pins empty columns, and
+// eliminates free column singletons on equality rows.
+func (st *psState) colPass(changed *bool) Status {
+	n := len(st.obj)
+	for v := 0; v < n; v++ {
+		if !st.varAlive[v] {
+			continue
+		}
+		lo, up := st.lo[v], st.up[v]
+		if lo == up {
+			st.fixVar(v, lo, psFixVar)
+			*changed = true
+			continue
+		}
+		if st.colCount[v] == 0 {
+			// Empty column: pin to the objective-improving bound. The cost
+			// is in the model's own sense, so "improving" flips with it. An
+			// infinite improving direction is NOT an Unbounded verdict here —
+			// infeasibility elsewhere would trump it — so such columns stay
+			// in the reduced model for the simplex to judge.
+			c := st.obj[v]
+			if st.m.sense == Maximize {
+				c = -c
+			}
+			var val float64
+			switch {
+			case c > psTol: // minimize c·x → lower bound
+				if lo <= -spxInf {
+					continue
+				}
+				val = lo
+			case c < -psTol:
+				if up >= spxInf {
+					continue
+				}
+				val = up
+			case lo > -spxInf:
+				val = lo
+			case up < spxInf:
+				val = up
+			}
+			st.fixVar(v, val, psEmptyCol)
+			*changed = true
+			continue
+		}
+		if st.colCount[v] == 1 && lo <= -spxInf && up >= spxInf {
+			st.tryFreeColSingleton(v, changed)
+		}
+	}
+	return Optimal
+}
+
+// fixVar records x[v] := val, substitutes it out of every alive row, and
+// kills the column.
+func (st *psState) fixVar(v int, val float64, kind psOpKind) {
+	st.varAlive[v] = false
+	st.ops = append(st.ops, psOp{kind: kind, row: -1, v: v, val: val})
+	if st.colCount[v] == 0 {
+		return
+	}
+	for i := range st.rows {
+		r := &st.rows[i]
+		if !r.alive {
+			continue
+		}
+		for k, t := range r.terms {
+			if t.Var != v {
+				continue
+			}
+			shift := t.Coeff * val
+			if r.lo > -spxInf {
+				r.lo -= shift
+			}
+			if r.up < spxInf {
+				r.up -= shift
+			}
+			r.terms = append(r.terms[:k], r.terms[k+1:]...)
+			break
+		}
+	}
+	st.colCount[v] = 0
+}
+
+// tryFreeColSingleton eliminates a free variable appearing in exactly one
+// row when that row is an equality: the row determines the variable, the
+// variable's stationarity pins the row's dual (y = c/a), and the objective
+// substitution c·x = (c/a)·(b − Σ aₖxₖ) folds into the surviving columns.
+func (st *psState) tryFreeColSingleton(v int, changed *bool) {
+	ri := -1
+	var coeff float64
+	for i := range st.rows {
+		r := &st.rows[i]
+		if !r.alive {
+			continue
+		}
+		for _, t := range r.terms {
+			if t.Var == v {
+				ri, coeff = i, t.Coeff
+				break
+			}
+		}
+		if ri >= 0 {
+			break
+		}
+	}
+	if ri < 0 || math.Abs(coeff) < 1e-8 {
+		return
+	}
+	r := &st.rows[ri]
+	if r.lo != r.up || r.lo <= -spxInf || r.up >= spxInf {
+		return
+	}
+	b := r.lo
+	rest := make([]Term, 0, len(r.terms)-1)
+	for _, t := range r.terms {
+		if t.Var != v {
+			rest = append(rest, t)
+		}
+	}
+	cv := st.obj[v]
+	for _, t := range rest {
+		st.obj[t.Var] -= cv * t.Coeff / coeff
+		st.colCount[t.Var]--
+	}
+	y := cv / coeff
+	r.alive = false
+	st.varAlive[v] = false
+	st.colCount[v] = 0
+	st.ops = append(st.ops, psOp{
+		kind: psFreeColSingleton, row: ri, v: v, a: coeff, val: b, dualY: y,
+		terms: rest,
+	})
+	*changed = true
+}
+
+// redundancyPass drops rows whose activity range, implied by the variable
+// bounds, cannot leave the row's bounds — and detects rows that cannot
+// reach them.
+func (st *psState) redundancyPass(changed *bool) Status {
+	for i := range st.rows {
+		r := &st.rows[i]
+		if !r.alive || len(r.terms) < 2 {
+			continue
+		}
+		minAct, maxAct := 0.0, 0.0
+		for _, t := range r.terms {
+			l, u := st.lo[t.Var], st.up[t.Var]
+			if t.Coeff > 0 {
+				minAct += t.Coeff * l
+				maxAct += t.Coeff * u
+			} else {
+				minAct += t.Coeff * u
+				maxAct += t.Coeff * l
+			}
+		}
+		// An infinite activity bound disables the checks on that side below
+		// (comparisons against ±Inf are safely false).
+		scale := 1 + math.Abs(r.lo) + math.Abs(r.up)
+		if (r.up < spxInf && minAct > r.up+psFeasTol*scale) ||
+			(r.lo > -spxInf && maxAct < r.lo-psFeasTol*scale) {
+			return Infeasible
+		}
+		loOK := r.lo <= -spxInf || (minAct > -spxInf && minAct >= r.lo-psTol*scale)
+		upOK := r.up >= spxInf || (maxAct < spxInf && maxAct <= r.up+psTol*scale)
+		if loOK && upOK {
+			r.alive = false
+			for _, t := range r.terms {
+				st.colCount[t.Var]--
+			}
+			st.ops = append(st.ops, psOp{kind: psDropRow, row: i, v: -1})
+			*changed = true
+		}
+	}
+	return Optimal
+}
+
+// buildReduced materializes the surviving rows/columns as a fresh Model and
+// returns the old→new index maps.
+func (st *psState) buildReduced() (*Model, []int, []int) {
+	n := len(st.obj)
+	varMap := make([]int, n)
+	reduced := NewModel(st.m.sense)
+	for v := 0; v < n; v++ {
+		varMap[v] = -1
+		if st.varAlive[v] {
+			varMap[v] = reduced.AddVar(st.lo[v], st.up[v], st.obj[v])
+		}
+	}
+	rowMap := make([]int, len(st.rows))
+	for i := range st.rows {
+		rowMap[i] = -1
+		r := &st.rows[i]
+		if !r.alive {
+			continue
+		}
+		terms := make([]Term, len(r.terms))
+		for k, t := range r.terms {
+			terms[k] = Term{Var: varMap[t.Var], Coeff: t.Coeff}
+		}
+		rowMap[i] = reduced.AddRow(terms, r.lo, r.up)
+	}
+	return reduced, varMap, rowMap
+}
+
+// postsolve maps the reduced solution back onto the original model,
+// replaying the reduction ops in reverse to recover eliminated primal
+// values and removed-row duals.
+func (st *psState) postsolve(rsol *Solution, varMap, rowMap []int) (x, duals []float64) {
+	m := st.m
+	n := len(m.obj)
+	x = make([]float64, n)
+	duals = make([]float64, len(m.rows))
+	for v := 0; v < n; v++ {
+		if varMap[v] >= 0 {
+			x[v] = rsol.X[varMap[v]]
+		}
+	}
+	for i := range m.rows {
+		if rowMap[i] >= 0 {
+			duals[i] = rsol.Duals[rowMap[i]]
+		}
+	}
+	// Prefill the constant-valued recoveries (fixed/pinned variables, the
+	// precomputed free-column-singleton duals) so the order-dependent ones
+	// below — full-row activities, singleton-row reduced costs — see every
+	// value they reference regardless of when its op was recorded.
+	for k := range st.ops {
+		op := &st.ops[k]
+		switch op.kind {
+		case psFixVar, psEmptyCol:
+			x[op.v] = op.val
+		case psFreeColSingleton:
+			duals[op.row] = op.dualY
+		}
+	}
+	for k := len(st.ops) - 1; k >= 0; k-- {
+		op := &st.ops[k]
+		switch op.kind {
+		case psFixVar, psEmptyCol:
+			// prefilled above
+		case psDropRow:
+			// slack: dual stays 0
+		case psFreeColSingleton:
+			sum := 0.0
+			for _, t := range op.terms {
+				sum += t.Coeff * x[t.Var]
+			}
+			x[op.v] = (op.val - sum) / op.a
+		case psSingletonRow:
+			// The row was a·x[v] ∈ [rlo,rup]. If it is active at the final
+			// point and the variable still carries reduced cost, the row —
+			// not the variable bound — is what the multiplier prices.
+			d := m.obj[op.v]
+			for i, r := range m.rows {
+				if duals[i] == 0 {
+					continue
+				}
+				for _, t := range r.terms {
+					if t.Var == op.v {
+						d -= t.Coeff * duals[i]
+					}
+				}
+			}
+			// Activity over the FULL original row: variables substituted out
+			// before this row was removed shifted its bounds, so only the
+			// unreduced activity can be compared against the original bounds.
+			r := m.rows[op.row]
+			act := 0.0
+			for _, t := range r.terms {
+				act += t.Coeff * x[t.Var]
+			}
+			scale := 1 + math.Abs(act)
+			active := (r.lo > -spxInf && math.Abs(act-r.lo) <= psFeasTol*scale) ||
+				(r.up < spxInf && math.Abs(act-r.up) <= psFeasTol*scale)
+			atOwnBound := (m.vlo[op.v] > -spxInf && math.Abs(x[op.v]-m.vlo[op.v]) <= psFeasTol*scale) ||
+				(m.vup[op.v] < spxInf && math.Abs(x[op.v]-m.vup[op.v]) <= psFeasTol*scale)
+			if active && !atOwnBound && math.Abs(d) > psTol {
+				duals[op.row] = d / op.a
+			}
+		}
+	}
+	return x, duals
+}
+
+// kktValid checks the recovered (x, y) against the original model's
+// optimality conditions: primal feasibility, stationarity with
+// bound-respecting reduced-cost signs, and complementary slackness on
+// inactive rows. Tolerances scale with the data so large-coefficient models
+// are not spuriously rejected.
+func (m *Model) kktValid(x, duals []float64) bool {
+	n := len(m.obj)
+	// Primal: variable bounds.
+	for j := 0; j < n; j++ {
+		scale := 1 + math.Abs(x[j])
+		if m.vlo[j] > -spxInf && x[j] < m.vlo[j]-psKKTTol*scale {
+			return false
+		}
+		if m.vup[j] < spxInf && x[j] > m.vup[j]+psKKTTol*scale {
+			return false
+		}
+	}
+	// Primal: row activities; dual sign + slackness per row.
+	sgn := 1.0
+	if m.sense == Maximize {
+		sgn = -1
+	}
+	for i, r := range m.rows {
+		act := 0.0
+		maxTerm := 0.0
+		for _, t := range r.terms {
+			act += t.Coeff * x[t.Var]
+			if a := math.Abs(t.Coeff * x[t.Var]); a > maxTerm {
+				maxTerm = a
+			}
+		}
+		scale := 1 + maxTerm
+		if r.lo > -spxInf && act < r.lo-psKKTTol*scale {
+			return false
+		}
+		if r.up < spxInf && act > r.up+psKKTTol*scale {
+			return false
+		}
+		loActive := r.lo > -spxInf && act <= r.lo+psKKTTol*scale
+		upActive := r.up < spxInf && act >= r.up-psKKTTol*scale
+		y := sgn * duals[i] // internal minimization convention
+		switch {
+		case !loActive && !upActive:
+			if math.Abs(y) > psKKTTol*scale {
+				return false
+			}
+		case loActive && !upActive:
+			if y < -psKKTTol*scale {
+				return false
+			}
+		case upActive && !loActive:
+			if y > psKKTTol*scale {
+				return false
+			}
+		}
+	}
+	// Stationarity: reduced costs respect the active bounds.
+	d := make([]float64, n)
+	maxC := 1.0
+	for j := 0; j < n; j++ {
+		c := m.obj[j]
+		if m.sense == Maximize {
+			c = -c
+		}
+		d[j] = c
+		if a := math.Abs(c); a > maxC {
+			maxC = a
+		}
+	}
+	for i, r := range m.rows {
+		y := sgn * duals[i]
+		if y == 0 {
+			continue
+		}
+		for _, t := range r.terms {
+			d[t.Var] -= t.Coeff * y
+			if a := math.Abs(t.Coeff * y); a > maxC {
+				maxC = a
+			}
+		}
+	}
+	tol := psKKTTol * maxC
+	for j := 0; j < n; j++ {
+		atLo := m.vlo[j] > -spxInf && x[j] <= m.vlo[j]+psKKTTol*(1+math.Abs(x[j]))
+		atUp := m.vup[j] < spxInf && x[j] >= m.vup[j]-psKKTTol*(1+math.Abs(x[j]))
+		switch {
+		case atLo && atUp: // fixed: unconstrained
+		case atLo:
+			if d[j] < -tol {
+				return false
+			}
+		case atUp:
+			if d[j] > tol {
+				return false
+			}
+		default:
+			if math.Abs(d[j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -38,6 +38,17 @@ type Basis struct {
 	NumVars int    // structural variables the basis was built for
 	NumRows int    // rows the basis was built for
 	Status  []int8 // len NumVars+NumRows
+
+	// DualStall is the auto router's memory of the dual phase giving up
+	// on this warm chain: set when a MethodAuto dual attempt hits the
+	// degenerate-plateau bail-out, and cleared by an attempt that runs
+	// to completion. While set, the router stops attempting the dual
+	// phase for this chain — on models where warm restarts plateau
+	// (many zero-reduced-cost nonbasics at scale), every attempt pays
+	// the full bail budget before the primal phases finish the solve
+	// anyway, and chains where the dual phase wins never bail at all.
+	// Explicit MethodDual ignores it. Zero value = keep trying.
+	DualStall uint8
 }
 
 // Clone returns a deep copy.
@@ -45,7 +56,7 @@ func (b *Basis) Clone() *Basis {
 	if b == nil {
 		return nil
 	}
-	return &Basis{NumVars: b.NumVars, NumRows: b.NumRows, Status: append([]int8(nil), b.Status...)}
+	return &Basis{NumVars: b.NumVars, NumRows: b.NumRows, Status: append([]int8(nil), b.Status...), DualStall: b.DualStall}
 }
 
 // csc is a compressed-sparse-column matrix.
@@ -153,8 +164,18 @@ func (s *spx) dotColumn(j int32, y []float64) float64 {
 	return -y[int(j)-s.n]
 }
 
-// spxSolve runs the bounded-variable two-phase revised simplex.
-func spxSolve(p *spxProb, warm *Basis) (*spxResult, SolveStats, error) {
+// spxOpts selects the algorithm and its pricing for one engine run.
+type spxOpts struct {
+	method  Method
+	pricing DualPricing
+}
+
+// spxSolve runs the bounded-variable revised simplex: a dual phase when
+// the method (or MethodAuto's warm-edit detection) calls for it, then the
+// primal two-phase loop, which doubles as the dual phase's cleanup and
+// verification pass (it terminates immediately on an already-optimal
+// basis).
+func spxSolve(p *spxProb, warm *Basis, opts spxOpts) (*spxResult, SolveStats, error) {
 	m, n := p.a.m, p.a.n
 	s := &spx{
 		p: p, m: m, n: n, ncol: n + m,
@@ -169,8 +190,10 @@ func spxSolve(p *spxProb, warm *Basis) (*spxResult, SolveStats, error) {
 		cB:         make([]float64, m),
 		d:          make([]float64, n+m),
 	}
+	var warmDualStall uint8
 	if warm != nil {
 		s.stats.WarmAttempted = true
+		warmDualStall = warm.DualStall
 	}
 	if warm != nil && s.tryWarmStart(warm) {
 		s.stats.WarmUsed = true
@@ -178,6 +201,34 @@ func spxSolve(p *spxProb, warm *Basis) (*spxResult, SolveStats, error) {
 		s.coldStart()
 	}
 	s.computeXB()
+
+	useDual := false
+	if m > 0 {
+		switch opts.method {
+		case MethodDual:
+			// Explicit request: flip nonbasic bounded columns onto their
+			// sign-correct bounds first; switch to the primal phases when
+			// that cannot reach dual feasibility.
+			useDual = s.flipToDualFeasible()
+		case MethodAuto:
+			// The bound/RHS-edit signature: an accepted warm basis whose
+			// basic values violate the edited bounds but whose reduced
+			// costs still price optimal — unless this chain's dual
+			// attempts keep hitting the plateau bail (Basis.DualStall).
+			useDual = s.stats.WarmUsed && warmDualStall == 0 &&
+				s.infeasibility() > spxFeasTol && s.dualFeasible()
+		}
+	}
+	if useDual {
+		s.stats.DualAttempted = true
+		if _, ok := s.dualIterate(opts.pricing); ok {
+			s.stats.DualUsed = true
+			// An Infeasible verdict (dual unbounded) is NOT returned
+			// directly: the primal phase-1 pass below re-derives it from
+			// first principles, so a tolerance artifact in the dual ratio
+			// test can never misreport a feasible model.
+		}
+	}
 
 	status, err := s.iterate()
 	if err != nil {
@@ -197,7 +248,19 @@ func spxSolve(p *spxProb, warm *Basis) (*spxResult, SolveStats, error) {
 		}
 		s.btran(s.cB, s.y)
 		res.y = append([]float64(nil), s.y...)
-		res.basis = &Basis{NumVars: n, NumRows: m, Status: append([]int8(nil), s.status...)}
+		// Carry the dual-bail memory forward: an attempt that bailed
+		// bumps the counter (saturating), a completed dual phase clears
+		// it, and a solve that never attempted (cold, or already shut
+		// off) passes the inherited value through.
+		ds := warmDualStall
+		if s.stats.DualAttempted {
+			if s.stats.DualUsed {
+				ds = 0
+			} else {
+				ds = 1
+			}
+		}
+		res.basis = &Basis{NumVars: n, NumRows: m, Status: append([]int8(nil), s.status...), DualStall: ds}
 	}
 	return res, s.stats, nil
 }

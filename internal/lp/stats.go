@@ -11,9 +11,15 @@ type StatsSnapshot struct {
 	Solves           uint64 // sparse solves attempted
 	Iterations       uint64 // total simplex iterations
 	Phase1Iterations uint64 // iterations spent restoring feasibility
+	DualIterations   uint64 // iterations spent in the dual simplex phase
 	Refactorizations uint64 // LU (re)factorizations
 	WarmAttempts     uint64 // solves offered a warm basis
 	WarmHits         uint64 // ... that accepted it
+	DualAttempts     uint64 // solves that entered the dual simplex phase
+	DualHits         uint64 // ... where it ran to a verdict
+	PresolveSolves   uint64 // solves routed through presolve
+	PresolveRows     uint64 // rows removed by presolve, summed over solves
+	PresolveCols     uint64 // columns removed by presolve, summed over solves
 	DenseFallbacks   uint64 // sparse failures answered by the dense oracle
 }
 
@@ -25,13 +31,27 @@ func (s StatsSnapshot) WarmHitRate() float64 {
 	return float64(s.WarmHits) / float64(s.WarmAttempts)
 }
 
+// DualHitRate is DualHits/DualAttempts, or 0 when the dual phase never ran.
+func (s StatsSnapshot) DualHitRate() float64 {
+	if s.DualAttempts == 0 {
+		return 0
+	}
+	return float64(s.DualHits) / float64(s.DualAttempts)
+}
+
 type statsCounters struct {
 	solves           uint64
 	iterations       uint64
 	phase1           uint64
+	dualIterations   uint64
 	refactorizations uint64
 	warmAttempts     uint64
 	warmHits         uint64
+	dualAttempts     uint64
+	dualHits         uint64
+	presolveSolves   uint64
+	presolveRows     uint64
+	presolveCols     uint64
 	denseFallbacks   uint64
 }
 
@@ -41,12 +61,23 @@ func (c *statsCounters) record(s SolveStats) {
 	atomic.AddUint64(&c.solves, 1)
 	atomic.AddUint64(&c.iterations, uint64(s.Iterations))
 	atomic.AddUint64(&c.phase1, uint64(s.Phase1Iterations))
+	atomic.AddUint64(&c.dualIterations, uint64(s.DualIterations))
 	atomic.AddUint64(&c.refactorizations, uint64(s.Refactorizations))
 	if s.WarmAttempted {
 		atomic.AddUint64(&c.warmAttempts, 1)
 	}
 	if s.WarmUsed {
 		atomic.AddUint64(&c.warmHits, 1)
+	}
+	if s.DualAttempted {
+		atomic.AddUint64(&c.dualAttempts, 1)
+	}
+	if s.DualUsed {
+		atomic.AddUint64(&c.dualHits, 1)
+	}
+	if s.PresolveRows > 0 || s.PresolveCols > 0 {
+		atomic.AddUint64(&c.presolveRows, uint64(s.PresolveRows))
+		atomic.AddUint64(&c.presolveCols, uint64(s.PresolveCols))
 	}
 }
 
@@ -56,9 +87,15 @@ func GlobalStats() StatsSnapshot {
 		Solves:           atomic.LoadUint64(&globalStats.solves),
 		Iterations:       atomic.LoadUint64(&globalStats.iterations),
 		Phase1Iterations: atomic.LoadUint64(&globalStats.phase1),
+		DualIterations:   atomic.LoadUint64(&globalStats.dualIterations),
 		Refactorizations: atomic.LoadUint64(&globalStats.refactorizations),
 		WarmAttempts:     atomic.LoadUint64(&globalStats.warmAttempts),
 		WarmHits:         atomic.LoadUint64(&globalStats.warmHits),
+		DualAttempts:     atomic.LoadUint64(&globalStats.dualAttempts),
+		DualHits:         atomic.LoadUint64(&globalStats.dualHits),
+		PresolveSolves:   atomic.LoadUint64(&globalStats.presolveSolves),
+		PresolveRows:     atomic.LoadUint64(&globalStats.presolveRows),
+		PresolveCols:     atomic.LoadUint64(&globalStats.presolveCols),
 		DenseFallbacks:   atomic.LoadUint64(&globalStats.denseFallbacks),
 	}
 }
@@ -69,8 +106,14 @@ func ResetGlobalStats() {
 	atomic.StoreUint64(&globalStats.solves, 0)
 	atomic.StoreUint64(&globalStats.iterations, 0)
 	atomic.StoreUint64(&globalStats.phase1, 0)
+	atomic.StoreUint64(&globalStats.dualIterations, 0)
 	atomic.StoreUint64(&globalStats.refactorizations, 0)
 	atomic.StoreUint64(&globalStats.warmAttempts, 0)
 	atomic.StoreUint64(&globalStats.warmHits, 0)
+	atomic.StoreUint64(&globalStats.dualAttempts, 0)
+	atomic.StoreUint64(&globalStats.dualHits, 0)
+	atomic.StoreUint64(&globalStats.presolveSolves, 0)
+	atomic.StoreUint64(&globalStats.presolveRows, 0)
+	atomic.StoreUint64(&globalStats.presolveCols, 0)
 	atomic.StoreUint64(&globalStats.denseFallbacks, 0)
 }

@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"github.com/coyote-te/coyote/internal/dagx"
@@ -58,91 +59,162 @@ func MinMLUExact(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) (float64, [
 // of active destinations (demand columns with traffic). The returned basis
 // is the optimal one of this solve; carrying it across the online
 // controller's repeated normalizations (demand matrices drifting inside a
-// box) typically skips phase 1 entirely. A basis that no longer fits is
-// ignored. The optimum itself never depends on the warm basis; only the
-// pivot path does.
+// box) typically skips phase 1 entirely, and a bound/RHS-only drift is
+// repaired by the dual simplex (lp.MethodAuto). A basis that no longer
+// fits is ignored. The optimum itself never depends on the warm basis;
+// only the pivot path does.
 func MinMLUExactBasis(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix, warm *lp.Basis) (float64, [][]float64, *lp.Basis, error) {
-	n := g.NumNodes()
 	if D.Total() == 0 {
-		return 0, make([][]float64, n), nil, nil
+		return 0, make([][]float64, g.NumNodes()), nil, nil
 	}
-	prob := lp.NewModel(lp.Minimize)
-	alpha := prob.AddVar(0, lp.Inf, 1)
+	mm := NewMinMLUModel(g, dags, D)
+	return mm.Solve(&lp.SolveOptions{Basis: warm})
+}
 
-	// varOf[t][e] = LP variable for flow toward t on e, or -1.
-	varOf := make([][]int, n)
-	active := make([]bool, n)
+// MinMLUModel is the exact min-MLU LP kept mutable between solves: the
+// online controller edits demand RHS values in place (SetDemand) and
+// re-solves from the carried basis, which routes through the dual simplex
+// when the edit left the basis primal infeasible. The row/variable maps
+// are exported so tests and tools can address the formulation directly,
+// and DumpMPS writes the instance in MPS form for external solvers.
+type MinMLUModel struct {
+	Model *lp.Model
+	// Alpha is the MLU variable (the objective).
+	Alpha int
+	// VarOf[t][e] is the LP variable carrying flow toward destination t on
+	// edge e, or −1 (destination inactive or edge outside its DAG).
+	VarOf [][]int
+	// DemandRow[t][v] is the conservation row "out − in = d_vt" at node
+	// v ≠ t for active destination t, or −1.
+	DemandRow [][]int
+	// CapRow[e] is edge e's capacity row "Σ_t flow − α·c_e ≤ 0", or −1
+	// when no destination may use the edge.
+	CapRow []int
+
+	g      *graph.Graph
+	active []bool
+}
+
+// NewMinMLUModel builds the min-MLU LP for the demands D. The active
+// destination set (columns of D with traffic) fixes the formulation shape;
+// SetDemand may later move demand only toward destinations active here.
+func NewMinMLUModel(g *graph.Graph, dags []*dagx.DAG, D *demand.Matrix) *MinMLUModel {
+	n := g.NumNodes()
+	prob := lp.NewModel(lp.Minimize)
+	mm := &MinMLUModel{
+		Model:     prob,
+		Alpha:     prob.AddVar(0, lp.Inf, 1),
+		VarOf:     make([][]int, n),
+		DemandRow: make([][]int, n),
+		CapRow:    make([]int, g.NumEdges()),
+		g:         g,
+		active:    make([]bool, n),
+	}
 	for t := 0; t < n; t++ {
 		col := D.ToDestination(graph.NodeID(t))
 		for _, d := range col {
 			if d > 0 {
-				active[t] = true
+				mm.active[t] = true
 				break
 			}
 		}
-		if !active[t] {
+		if !mm.active[t] {
 			continue
 		}
 		allowed := allowedEdges(g, dags, graph.NodeID(t))
-		varOf[t] = make([]int, g.NumEdges())
-		for e := range varOf[t] {
+		mm.VarOf[t] = make([]int, g.NumEdges())
+		for e := range mm.VarOf[t] {
 			if allowed[e] {
-				varOf[t][e] = prob.AddVars(1)
+				mm.VarOf[t][e] = prob.AddVars(1)
 			} else {
-				varOf[t][e] = -1
+				mm.VarOf[t][e] = -1
 			}
 		}
 		// Flow conservation at every v != t: out - in = d_vt.
+		mm.DemandRow[t] = make([]int, n)
+		for v := range mm.DemandRow[t] {
+			mm.DemandRow[t][v] = -1
+		}
 		for v := 0; v < n; v++ {
 			if v == t {
 				continue
 			}
 			var terms []lp.Term
 			for _, id := range g.Out(graph.NodeID(v)) {
-				if varOf[t][id] >= 0 {
-					terms = append(terms, lp.Term{Var: varOf[t][id], Coeff: 1})
+				if mm.VarOf[t][id] >= 0 {
+					terms = append(terms, lp.Term{Var: mm.VarOf[t][id], Coeff: 1})
 				}
 			}
 			for _, id := range g.In(graph.NodeID(v)) {
-				if varOf[t][id] >= 0 {
-					terms = append(terms, lp.Term{Var: varOf[t][id], Coeff: -1})
+				if mm.VarOf[t][id] >= 0 {
+					terms = append(terms, lp.Term{Var: mm.VarOf[t][id], Coeff: -1})
 				}
 			}
-			prob.AddEQ(terms, col[v])
+			mm.DemandRow[t][v] = prob.AddEQ(terms, col[v])
 		}
 	}
 	// Capacity: sum_t flow_t(e) <= alpha * c_e.
 	for _, e := range g.Edges() {
-		terms := []lp.Term{{Var: alpha, Coeff: -e.Capacity}}
+		mm.CapRow[e.ID] = -1
+		terms := []lp.Term{{Var: mm.Alpha, Coeff: -e.Capacity}}
 		for t := 0; t < n; t++ {
-			if active[t] && varOf[t][e.ID] >= 0 {
-				terms = append(terms, lp.Term{Var: varOf[t][e.ID], Coeff: 1})
+			if mm.active[t] && mm.VarOf[t][e.ID] >= 0 {
+				terms = append(terms, lp.Term{Var: mm.VarOf[t][e.ID], Coeff: 1})
 			}
 		}
 		if len(terms) > 1 {
-			prob.AddLE(terms, 0)
+			mm.CapRow[e.ID] = prob.AddLE(terms, 0)
 		}
 	}
-	sol, err := prob.Solve(&lp.SolveOptions{Basis: warm})
+	return mm
+}
+
+// SetDemand moves the demand from s toward t to d by editing the
+// conservation row's RHS in place — the bound-only edit the dual simplex
+// warm restart is built for. The destination must have been active at
+// construction time.
+func (mm *MinMLUModel) SetDemand(s, t graph.NodeID, d float64) error {
+	if int(t) >= len(mm.DemandRow) || mm.DemandRow[t] == nil {
+		return fmt.Errorf("mcf: destination %d inactive in this formulation", t)
+	}
+	r := mm.DemandRow[t][s]
+	if r < 0 {
+		return fmt.Errorf("mcf: no conservation row for %d→%d", s, t)
+	}
+	mm.Model.SetRowBounds(r, d, d)
+	return nil
+}
+
+// Solve runs the LP with the given options (typically a carried Basis) and
+// unpacks the solution into MLU and per-destination edge flows.
+func (mm *MinMLUModel) Solve(opts *lp.SolveOptions) (float64, [][]float64, *lp.Basis, error) {
+	sol, err := mm.Model.Solve(opts)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("mcf: %w", err)
 	}
 	if sol.Status != lp.Optimal {
 		return math.Inf(1), nil, nil, ErrUnroutable
 	}
+	n := mm.g.NumNodes()
 	flows := make([][]float64, n)
 	for t := 0; t < n; t++ {
-		if !active[t] {
+		if !mm.active[t] {
 			continue
 		}
-		flows[t] = make([]float64, g.NumEdges())
+		flows[t] = make([]float64, mm.g.NumEdges())
 		for e := range flows[t] {
-			if varOf[t][e] >= 0 {
-				flows[t][e] = sol.X[varOf[t][e]]
+			if mm.VarOf[t][e] >= 0 {
+				flows[t][e] = sol.X[mm.VarOf[t][e]]
 			}
 		}
 	}
 	return sol.Objective, flows, sol.Basis, nil
+}
+
+// DumpMPS writes the instance in canonical MPS form, so any min-MLU LP can
+// be handed to an external solver or added to the stress corpus.
+func (mm *MinMLUModel) DumpMPS(w io.Writer) error {
+	return lp.WriteMPS(w, mm.Model)
 }
 
 // MinMLUExactDense solves the identical formulation on the dense

@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON perf-trajectory file. `make bench` pipes the
-// headline benchmark suite through it into BENCH_PR4.json so the repo's
+// headline benchmark suite through it into BENCH_PR6.json so the repo's
 // performance record is diffable across PRs:
 //
 //	go test -run '^$' -bench 'Benchmark(Compute|WarmRecompute|ColdRecompute|ExactOPT|SlaveLP)' -cpu 1,4 . \
-//	    | benchjson -o BENCH_PR4.json
+//	    | benchjson -o BENCH_PR6.json
 //
 // Each result records the benchmark name, the corpus topology it
 // computes (when derivable from the name), the worker count (the -cpu
@@ -35,9 +35,12 @@ type Result struct {
 	Workers    int     `json:"workers"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries any custom b.ReportMetric values on the line
+	// (e.g. BenchmarkDualRestart's pivots/op) keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_PR4.json shape.
+// Report is the BENCH_PR6.json shape.
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
 	Goos        string `json:"goos,omitempty"`
@@ -53,18 +56,25 @@ type Report struct {
 // benchTopologies maps benchmark base names to the corpus topology they
 // measure (see bench_test.go).
 var benchTopologies = map[string]string{
-	"BenchmarkCompute":         "Geant",
-	"BenchmarkComputeNSF":      "NSF",
-	"BenchmarkComputeEndToEnd": "running-example",
-	"BenchmarkWarmRecompute":   "Geant",
-	"BenchmarkColdRecompute":   "Geant",
-	"BenchmarkExactOPT/sparse": "BICS",
-	"BenchmarkExactOPT/dense":  "BICS",
-	"BenchmarkSlaveLP/warm":    "Abilene",
-	"BenchmarkSlaveLP/cold":    "Abilene",
+	"BenchmarkCompute":               "Geant",
+	"BenchmarkComputeNSF":            "NSF",
+	"BenchmarkComputeEndToEnd":       "running-example",
+	"BenchmarkWarmRecompute":         "Geant",
+	"BenchmarkColdRecompute":         "Geant",
+	"BenchmarkExactOPT/sparse":       "BICS",
+	"BenchmarkExactOPT/dense":        "BICS",
+	"BenchmarkSlaveLP/warm":          "Abilene",
+	"BenchmarkSlaveLP/cold":          "Abilene",
+	"BenchmarkDualRestart/dual-warm": "NSF",
+	"BenchmarkDualRestart/cold":      "NSF",
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine tolerates dashes inside sub-benchmark names (dual-warm): the
+// name is lazy so a trailing -N is still claimed by the GOMAXPROCS group.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// metricPair matches the custom b.ReportMetric values trailing ns/op.
+var metricPair = regexp.MustCompile(`([0-9.eE+-]+) ([^\s]+)`)
 
 func main() {
 	var out string
@@ -99,12 +109,24 @@ func main() {
 		}
 		iters, _ := strconv.Atoi(m[3])
 		ns, _ := strconv.ParseFloat(m[4], 64)
+		var metrics map[string]float64
+		for _, mm := range metricPair.FindAllStringSubmatch(m[5], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			if metrics == nil {
+				metrics = make(map[string]float64)
+			}
+			metrics[mm[2]] = v
+		}
 		rep.Results = append(rep.Results, Result{
 			Benchmark:  m[1],
 			Topology:   benchTopologies[m[1]],
 			Workers:    workers,
 			Iterations: iters,
 			NsPerOp:    ns,
+			Metrics:    metrics,
 		})
 	}
 	if err := sc.Err(); err != nil {

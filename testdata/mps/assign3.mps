@@ -1,0 +1,46 @@
+* 3x3 assignment relaxation (integral by total unimodularity), opt 5.
+NAME ASSIGN3
+ROWS
+ N  COST
+ E  ROW1
+ E  ROW2
+ E  ROW3
+ E  COL1
+ E  COL2
+ E  COL3
+COLUMNS
+    X11  COST  4
+    X11  ROW1  1
+    X11  COL1  1
+    X12  COST  1
+    X12  ROW1  1
+    X12  COL2  1
+    X13  COST  3
+    X13  ROW1  1
+    X13  COL3  1
+    X21  COST  2
+    X21  ROW2  1
+    X21  COL1  1
+    X22  COST  0
+    X22  ROW2  1
+    X22  COL2  1
+    X23  COST  5
+    X23  ROW2  1
+    X23  COL3  1
+    X31  COST  3
+    X31  ROW3  1
+    X31  COL1  1
+    X32  COST  2
+    X32  ROW3  1
+    X32  COL2  1
+    X33  COST  2
+    X33  ROW3  1
+    X33  COL3  1
+RHS
+    RHS  ROW1  1
+    RHS  ROW2  1
+    RHS  ROW3  1
+    RHS  COL1  1
+    RHS  COL2  1
+    RHS  COL3  1
+ENDATA

@@ -1,0 +1,21 @@
+* Two-food diet: min 0.6a + 0.35b over three nutrient floors, opt 2.25.
+NAME DIET
+ROWS
+ N  COST
+ G  NUTR1
+ G  NUTR2
+ G  NUTR3
+COLUMNS
+    FOODA  COST  0.6
+    FOODA  NUTR1  5
+    FOODA  NUTR2  4
+    FOODA  NUTR3  2
+    FOODB  COST  0.35
+    FOODB  NUTR1  7
+    FOODB  NUTR2  2
+    FOODB  NUTR3  1
+RHS
+    RHS  NUTR1  8
+    RHS  NUTR2  15
+    RHS  NUTR3  3
+ENDATA

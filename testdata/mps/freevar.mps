@@ -1,0 +1,18 @@
+* Free variable (FR): min x + 2y, x free with x >= -5 as a row, opt 2.
+NAME FREEVAR
+ROWS
+ N  COST
+ G  SUM
+ G  FLOOR
+COLUMNS
+    X  COST  1
+    X  SUM  1
+    X  FLOOR  1
+    Y  COST  2
+    Y  SUM  1
+RHS
+    RHS  SUM  2
+    RHS  FLOOR  -5
+BOUNDS
+    FR  BND  X
+ENDATA

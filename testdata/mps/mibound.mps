@@ -1,0 +1,21 @@
+* MI bound (lower open): min x + y, x in (-inf, 5], opt -3.
+NAME MIBOUND
+ROWS
+ N  COST
+ G  SUM
+ G  DIFF
+COLUMNS
+    X  COST  1
+    X  SUM  1
+    X  DIFF  1
+    Y  COST  1
+    Y  SUM  1
+    Y  DIFF  -1
+RHS
+    RHS  SUM  -3
+    RHS  DIFF  -8
+BOUNDS
+    MI  BND  X
+    UP  BND  X  5
+    UP  BND  Y  10
+ENDATA

@@ -1,0 +1,20 @@
+* OBJSENSE MAX with objective constant: max 2x + 3y + 10, opt 21.
+* The RHS entry on COST is the negated offset, the usual MPS convention.
+NAME OFFSETMAX
+OBJSENSE
+    MAX
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    X  COST  2
+    X  CAP  1
+    Y  COST  3
+    Y  CAP  1
+RHS
+    RHS  CAP  4
+    RHS  COST  -10
+BOUNDS
+    UP  BND  X  3
+    UP  BND  Y  3
+ENDATA

@@ -1,0 +1,21 @@
+* Product-mix classic: max 3x + 5y, opt 36 at (2, 6).
+NAME PRODMIX
+OBJSENSE
+    MAX
+ROWS
+ N  COST
+ L  PLANT1
+ L  PLANT2
+ L  PLANT3
+COLUMNS
+    X  COST  3
+    X  PLANT1  1
+    X  PLANT3  3
+    Y  COST  5
+    Y  PLANT2  2
+    Y  PLANT3  2
+RHS
+    RHS  PLANT1  4
+    RHS  PLANT2  12
+    RHS  PLANT3  18
+ENDATA

@@ -1,0 +1,22 @@
+* Ranged row via RANGES: 1 <= x+y <= 3, x-y = 0.5, min x+2y, opt 1.25.
+NAME RANGED
+ROWS
+ N  COST
+ L  SUM
+ E  DIFF
+COLUMNS
+    X  COST  1
+    X  SUM  1
+    X  DIFF  1
+    Y  COST  2
+    Y  SUM  1
+    Y  DIFF  -1
+RHS
+    RHS  SUM  3
+    RHS  DIFF  0.5
+RANGES
+    RNG  SUM  2
+BOUNDS
+    UP  BND  X  2
+    UP  BND  Y  2
+ENDATA

@@ -1,0 +1,39 @@
+* 2x3 transportation: supplies 20/30, demands 10/25/15, opt 150.
+* FREEROW is a non-objective N row: kept free, never binds.
+NAME TRANSPORT
+ROWS
+ N  COST
+ N  FREEROW
+ L  SUP1
+ L  SUP2
+ G  DEM1
+ G  DEM2
+ G  DEM3
+COLUMNS
+    X11  COST  2
+    X11  SUP1  1
+    X11  DEM1  1
+    X11  FREEROW  1
+    X12  COST  3
+    X12  SUP1  1
+    X12  DEM2  1
+    X13  COST  1
+    X13  SUP1  1
+    X13  DEM3  1
+    X21  COST  5
+    X21  SUP2  1
+    X21  DEM1  1
+    X21  FREEROW  1
+    X22  COST  4
+    X22  SUP2  1
+    X22  DEM2  1
+    X23  COST  8
+    X23  SUP2  1
+    X23  DEM3  1
+RHS
+    RHS  SUP1  20
+    RHS  SUP2  30
+    RHS  DEM1  10
+    RHS  DEM2  25
+    RHS  DEM3  15
+ENDATA
