@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz-smoke smoke-examples sweep
+.PHONY: all build test vet race cover bench fuzz-smoke smoke-examples sweep metrics-smoke
 
 all: build test
 
@@ -31,14 +31,32 @@ cover:
 # this on every push and uploads sweep.jsonl as the machine-readable
 # campaign artifact.
 sweep:
-	$(GO) run ./cmd/coyote-sweep run -campaign golden -cache .sweep-cache -out sweep.jsonl -v
+	$(GO) run ./cmd/coyote-sweep run -campaign golden -cache .sweep-cache -out sweep.jsonl -trace sweep-trace.json -v
 	$(GO) run ./cmd/coyote-sweep run -campaign golden -cache .sweep-cache -out sweep-rerun.jsonl
 	cmp sweep.jsonl sweep-rerun.jsonl
 	$(GO) run ./cmd/coyote-sweep status -campaign golden -cache .sweep-cache
 	$(GO) run ./cmd/coyote-sweep diff -golden testdata/golden sweep.jsonl
 
-# bench regenerates BENCH_PR6.json, the machine-readable perf trajectory
-# (BENCH_PR2/PR3/PR4.json are kept as the historical record):
+# metrics-smoke is the live end-to-end observability gate: boot
+# coyote-serve, warm it with one /state request, then scrape /metrics with
+# the strict exposition parser and require the family every subsystem is
+# expected to export. Fails if the page is malformed or a family has gone
+# missing. CI runs this on every push.
+METRICS_ADDR ?= localhost:18080
+metrics-smoke: build
+	$(GO) build -o /tmp/coyote-serve ./cmd/coyote-serve
+	/tmp/coyote-serve -addr $(METRICS_ADDR) -topo NSF -quick & \
+	SERVE_PID=$$!; \
+	trap 'kill $$SERVE_PID 2>/dev/null' EXIT; \
+	$(GO) run ./internal/tools/promcheck \
+		-url http://$(METRICS_ADDR)/metrics \
+		-warm http://$(METRICS_ADDR)/state \
+		-require coyote_lp_solves_total,coyote_lp_iterations_total,coyote_session_events_total,coyote_session_recomputes_total,coyote_par_loops_total,coyote_http_requests_total,coyote_http_request_seconds \
+		-require-samples coyote_lp_solves_total,coyote_session_events_total,coyote_http_requests_total \
+		-v
+
+# bench regenerates $(BENCH_OUT), the machine-readable perf trajectory
+# (BENCH_PR2..PR6.json are kept as the historical record):
 # BenchmarkCompute* (the headline end-to-end pipeline benchmarks) and the
 # online controller's warm-vs-cold recompute pair at 1 and 4 workers,
 # plus the sparse-LP core trio — BenchmarkExactOPT (sparse vs dense exact
@@ -49,13 +67,14 @@ sweep:
 # internal/tools/benchjson (which also records the host CPU count — the
 # key to reading per-worker numbers on small runners). CI runs this on
 # every push; commit the refreshed file when the numbers move materially.
+BENCH_OUT ?= BENCH_PR7.json
 bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkCompute' -benchtime 2x -cpu 1,4 . && \
 	  $(GO) test -run '^$$' -bench 'Benchmark(Warm|Cold)Recompute' -benchtime 4x -cpu 1,4 . && \
 	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x . && \
 	  $(GO) test -run '^$$' -bench 'BenchmarkDualRestart' -benchtime 20x . ) \
 		| tee /dev/stderr \
-		| $(GO) run ./internal/tools/benchjson -o BENCH_PR6.json
+		| $(GO) run ./internal/tools/benchjson -o $(BENCH_OUT)
 
 # fuzz-smoke runs each native fuzz target briefly — the CI gate that
 # malformed real-world topology and MPS files error instead of panicking

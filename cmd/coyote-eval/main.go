@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	coyote "github.com/coyote-te/coyote"
 	"github.com/coyote-te/coyote/internal/exp"
 	"github.com/coyote-te/coyote/internal/lp"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/scen"
 )
 
@@ -38,9 +40,25 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
 		workers  = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
 		lpStats  = flag.Bool("lp-stats", false, "print sparse-LP solver statistics (iterations, refactorizations, warm-start and dual-restart hit rates, presolve reductions) after each run")
+		metrics  = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text) to stderr before exiting")
+		traceOut = flag.String("trace", "", "write a per-experiment span trace here (.jsonl = span records, else Chrome trace-event JSON)")
 	)
 	flag.Parse()
 	printLPStats = *lpStats
+	if *traceOut != "" {
+		tracer := obs.NewTracer()
+		traceCtx = obs.WithTracer(context.Background(), tracer)
+		defer func() {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "coyote-eval:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
+			}
+		}()
+	}
+	if *metrics {
+		defer obs.Default.WriteProm(os.Stderr)
+	}
 
 	if *list {
 		printList()
@@ -64,7 +82,10 @@ func main() {
 			fatal(err)
 		}
 		lp.ResetGlobalStats()
+		ctx, span := obs.StartSpan(traceCtx, "sweep:"+*topoFile)
+		cfg.Ctx = ctx
 		tab, err := exp.SweepGraph(fmt.Sprintf("Sweep — %s", *topoFile), g, *model, cfg)
+		span.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -105,10 +126,17 @@ func printList() {
 	}
 }
 
+// traceCtx carries the -trace tracer into every experiment; a plain
+// background context when tracing is off.
+var traceCtx = context.Background()
+
 func runOne(id string, cfg exp.Config) error {
 	start := time.Now()
 	lp.ResetGlobalStats()
+	ctx, span := obs.StartSpan(traceCtx, "exp:"+id)
+	cfg.Ctx = ctx
 	tab, err := exp.Run(id, cfg)
+	span.End()
 	if err != nil {
 		return fmt.Errorf("%s: %w", id, err)
 	}

@@ -21,20 +21,32 @@
 //	curl -X POST localhost:8080/recover -d '{"from":"v0","to":"v1"}'
 //	curl localhost:8080/stats
 //	curl -N localhost:8080/events        # live SSE stream
+//	curl localhost:8080/metrics          # Prometheus text exposition
+//
+// With -debug-addr a second listener serves the debug plane (net/http/pprof
+// profiles, expvar, and the same /metrics). SIGINT/SIGTERM shuts down
+// gracefully: in-flight requests drain, SSE streams close, and -trace (if
+// set) flushes the recorded session span trees to disk.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/coyote-te/coyote/internal/delta"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/exp"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/scen"
 	"github.com/coyote-te/coyote/internal/serve"
 	"github.com/coyote-te/coyote/internal/sweep"
@@ -58,6 +70,8 @@ func main() {
 	failoverPlan := flag.Bool("failover", false, "precompute per-link failover configurations at startup")
 	sweepName := flag.String("sweep", "", "expose the /sweep endpoint for this campaign (golden, quick, full)")
 	sweepCache := flag.String("sweep-cache", "", "content-addressed result cache directory for /sweep")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof, /debug/vars, /metrics (off when empty)")
+	traceOut := flag.String("trace", "", "write a trace of every session transition to this file on shutdown (.jsonl = span records, else Chrome trace-event JSON)")
 	flag.Parse()
 
 	g, name, err := buildTopology(*topoName, *topoFile, *gen, scen.Params{
@@ -91,6 +105,11 @@ func main() {
 		Workers:            *workers,
 		PrecomputeFailover: *failoverPlan,
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		cfg.Tracer = tracer
+	}
 
 	log.Printf("coyote-serve: computing initial configuration for %s (%d nodes, %d links)...",
 		name, g.NumNodes(), len(g.Links()))
@@ -118,8 +137,60 @@ func main() {
 		log.Printf("coyote-serve: /sweep enabled for the %s campaign (%d units, cache %q)",
 			campaign.Name, len(campaign.Units), *sweepCache)
 	}
-	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events; POST /update /fail /recover)", *addr)
-	log.Fatalln("coyote-serve:", http.ListenAndServe(*addr, srv.Handler()))
+	// Graceful shutdown: SIGINT/SIGTERM cancels ctx, which (a) stops the
+	// listeners accepting and (b) — because ctx is every request's base
+	// context — ends long-lived SSE streams (/events), so Shutdown drains
+	// in-flight requests instead of deadlocking on them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:        *debugAddr,
+			Handler:     obs.DebugMux(obs.Default),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		}
+		go func() {
+			log.Printf("coyote-serve: debug plane on %s (/debug/pprof /debug/vars /metrics)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Println("coyote-serve: debug listener:", err)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events /metrics; POST /update /fail /recover)", *addr)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalln("coyote-serve:", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Println("coyote-serve: signal received, shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Println("coyote-serve: shutdown:", err)
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(shutdownCtx); err != nil {
+			log.Println("coyote-serve: debug shutdown:", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Println("coyote-serve:", err)
+		} else {
+			log.Printf("coyote-serve: wrote %d trace spans to %s", tracer.Len(), *traceOut)
+		}
+	}
 }
 
 // buildTopology resolves exactly one of the three topology sources.

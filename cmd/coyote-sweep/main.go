@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/sweep"
 )
 
@@ -81,6 +85,9 @@ run/resume also take:
   -workers N                    unit-level worker pool (0 = one per CPU)
   -verify                       recompute cache hits, fail unless bit-identical
   -v                            per-unit progress on stderr
+  -metrics                      dump Prometheus metrics to stderr after the run
+  -debug-addr ADDR              serve /debug/pprof, /debug/vars, /metrics while running
+  -trace FILE                   per-unit span trace (.jsonl, or Chrome/Perfetto JSON)
 diff takes:
   -tol X                        numeric tolerance (default 0 = exact)
   -golden DIR                   compare FILE against the golden corpus dir`)
@@ -118,11 +125,14 @@ func runCmd(args []string, resume bool) error {
 	var cf campaignFlags
 	cf.register(fs)
 	var (
-		out     = fs.String("out", "", "write the JSONL result stream here (default stdout)")
-		shard   = fs.String("shard", "", "i/n — run only this shard of the campaign")
-		workers = fs.Int("workers", 0, "unit-level worker pool size (0 = one per CPU)")
-		verify  = fs.Bool("verify", false, "recompute every cache hit and require bit-identical results")
-		verbose = fs.Bool("v", false, "per-unit progress on stderr")
+		out       = fs.String("out", "", "write the JSONL result stream here (default stdout)")
+		shard     = fs.String("shard", "", "i/n — run only this shard of the campaign")
+		workers   = fs.Int("workers", 0, "unit-level worker pool size (0 = one per CPU)")
+		verify    = fs.Bool("verify", false, "recompute every cache hit and require bit-identical results")
+		verbose   = fs.Bool("v", false, "per-unit progress on stderr")
+		metrics   = fs.Bool("metrics", false, "dump the metrics registry (Prometheus text) to stderr after the run")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /metrics on this address for the run's duration")
+		traceOut  = fs.String("trace", "", "write a per-unit/per-stage trace here (.jsonl = span records, else Chrome trace-event JSON)")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -168,6 +178,21 @@ func runCmd(args []string, resume bool) error {
 		Workers:     *workers,
 		Verify:      *verify,
 	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opts.Ctx = obs.WithTracer(context.Background(), tracer)
+	}
+	if *debugAddr != "" {
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(obs.Default)}
+		go func() {
+			fmt.Fprintf(os.Stderr, "debug plane on %s (/debug/pprof /debug/vars /metrics)\n", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "coyote-sweep: debug listener:", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 	if *shard != "" {
 		if _, err := fmt.Sscanf(*shard, "%d/%d", &opts.Shard, &opts.Shards); err != nil {
 			return fmt.Errorf("bad -shard %q (want i/n): %v", *shard, err)
@@ -197,6 +222,16 @@ func runCmd(args []string, resume bool) error {
 	}
 
 	rep, err := sweep.Run(c, opts)
+	if tracer != nil {
+		if werr := tracer.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "coyote-sweep:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", tracer.Len(), *traceOut)
+		}
+	}
+	if *metrics {
+		obs.Default.WriteProm(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}

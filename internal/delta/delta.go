@@ -36,8 +36,10 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -48,8 +50,26 @@ import (
 	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 	"github.com/coyote-te/coyote/internal/wcmp"
+)
+
+// Session activity metrics (obs.Default, DESIGN.md §10). All updates happen
+// under the session mutex on the mutation path — far from any inner loop —
+// and nothing is ever read back, so the determinism contract holds.
+var (
+	mEvents = obs.Default.NewCounterVec("coyote_session_events_total",
+		"Session state transitions recorded, by event kind.", "kind")
+	mRecomputes = obs.Default.NewCounterVec("coyote_session_recomputes_total",
+		"Adversarial-loop recomputes, by warm (reused optimizer state) vs cold.", "warm")
+	mRecomputeSeconds = obs.Default.NewHistogram("coyote_session_recompute_seconds",
+		"Wall-clock latency of one adversarial-loop recompute.",
+		obs.ExpBuckets(0.001, 4, 10)) // 1ms .. ~260s
+	mLSAChurn = obs.Default.NewCounter("coyote_session_lsa_churn_total",
+		"LSAs added, removed, or updated across lie-diff emissions.")
+	mDroppedEvents = obs.Default.NewCounter("coyote_session_dropped_events_total",
+		"Events dropped because a subscriber's channel was full.")
 )
 
 // maxCarriedCritical bounds the critical-matrix set carried across
@@ -83,6 +103,11 @@ type Config struct {
 	// for failure scenarios can be precomputed"), so Fail swaps it in and
 	// merely refines.
 	PrecomputeFailover bool
+	// Tracer, when non-nil, records one span tree per session transition
+	// (session.init/update/fail/recover/lies) with the nested adversarial
+	// loop, gpopt, and LP spans beneath it. Purely observational — results
+	// are bit-identical with or without it.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -196,8 +221,17 @@ type Session struct {
 
 	prevSyn *fibbing.Synthesis // last emitted lie set, diff baseline
 	events  []Event
-	subs    map[int]chan Event
+	subs    map[int]*subscriber
 	nextSub int
+	dropped uint64 // lifetime count of events dropped on full subscriber channels
+}
+
+// subscriber is one Subscribe registration: its delivery channel plus the
+// count of events it missed because the channel was full when the
+// controller tried to notify it.
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
 }
 
 // NewSession validates the topology and bounds, runs the initial cold
@@ -222,15 +256,17 @@ func NewSession(g *graph.Graph, box *demand.Box, cfg Config) (*Session, error) {
 		base:   g,
 		box:    box,
 		failed: make(map[graph.EdgeID]bool),
-		subs:   make(map[int]chan Event),
+		subs:   make(map[int]*subscriber),
 	}
+	ctx, span := obs.StartSpan(s.traceCtx(), "session.init")
+	defer span.End()
 	start := time.Now()
 	s.baseDags = dagx.BuildAll(g, dagx.Augmented)
 	s.cur = g
 	s.dags = s.baseDags
 	s.ev = oblivious.NewEvaluator(g, s.dags, box, s.evalConfig())
 	s.baseEv = s.ev
-	s.reoptimize(false, nil)
+	s.reoptimize(ctx, false, nil)
 	s.record(Event{
 		Kind:       EventInit,
 		Perf:       s.perf,
@@ -241,6 +277,7 @@ func NewSession(g *graph.Graph, box *demand.Box, cfg Config) (*Session, error) {
 	})
 
 	if cfg.PrecomputeFailover {
+		_, planSpan := obs.StartSpan(ctx, "session.failover_plan")
 		links := g.Links()
 		groups := make([][]graph.EdgeID, len(links))
 		for i, id := range links {
@@ -255,14 +292,25 @@ func NewSession(g *graph.Graph, box *demand.Box, cfg Config) (*Session, error) {
 			Workers:  cfg.Workers,
 		})
 		if err != nil {
+			planSpan.End()
 			return nil, err
 		}
 		s.plan = make(map[graph.EdgeID]*failover.GroupScenario, len(links))
 		for i := range scens {
 			s.plan[links[i]] = &scens[i]
 		}
+		planSpan.Attr("links", len(links)).End()
 	}
 	return s, nil
+}
+
+// traceCtx returns a background context carrying the session's tracer, or
+// a plain background context when tracing is off.
+func (s *Session) traceCtx() context.Context {
+	if s.cfg.Tracer == nil {
+		return context.Background()
+	}
+	return obs.WithTracer(context.Background(), s.cfg.Tracer)
 }
 
 func (s *Session) evalConfig() oblivious.EvalConfig {
@@ -278,7 +326,8 @@ func (s *Session) evalConfig() oblivious.EvalConfig {
 // the reduced warm effort; seed, when non-nil, replaces the optimizer (the
 // failover swap path). It updates routing/perf/critical/opt and, on the
 // base topology, snapshots normalState.
-func (s *Session) reoptimize(warm bool, seed *gpopt.Optimizer) {
+func (s *Session) reoptimize(ctx context.Context, warm bool, seed *gpopt.Optimizer) {
+	recomputeStart := time.Now()
 	iters, adv := s.cfg.OptIters, s.cfg.AdvIters
 	if warm {
 		iters, adv = s.cfg.WarmOptIters, s.cfg.WarmAdvIters
@@ -288,6 +337,7 @@ func (s *Session) reoptimize(warm bool, seed *gpopt.Optimizer) {
 		AdvIters:  adv,
 		Workers:   s.cfg.Workers,
 		Carry:     projectOntoBox(s.critical, s.box),
+		Ctx:       ctx,
 	}
 	if seed != nil {
 		opts.Warm = seed
@@ -307,6 +357,8 @@ func (s *Session) reoptimize(warm bool, seed *gpopt.Optimizer) {
 	if s.cur == s.base {
 		s.normalState = s.opt.ExportState()
 	}
+	mRecomputes.With(strconv.FormatBool(warm)).Inc()
+	mRecomputeSeconds.ObserveSince(recomputeStart)
 }
 
 // projectOntoBox clamps each carried critical matrix onto the current
@@ -348,14 +400,25 @@ func projectOntoBox(critical []*demand.Matrix, box *demand.Box) []*demand.Matrix
 }
 
 // record appends an event (stamping its sequence number) and notifies
-// subscribers without blocking.
+// subscribers without blocking. A subscriber whose channel is full misses
+// the event rather than stalling the controller — but the loss is no longer
+// silent: it is counted per subscriber, in the session lifetime total
+// (Dropped, surfaced on GET /state), and in the
+// coyote_session_dropped_events_total metric.
 func (s *Session) record(e Event) Event {
 	e.Seq = len(s.events)
 	s.events = append(s.events, e)
-	for _, ch := range s.subs {
+	mEvents.With(string(e.Kind)).Inc()
+	if e.Kind == EventLies {
+		mLSAChurn.Add(uint64(e.Churn))
+	}
+	for _, sub := range s.subs {
 		select {
-		case ch <- e:
+		case sub.ch <- e:
 		default: // slow subscriber: drop rather than stall the controller
+			sub.dropped++
+			s.dropped++
+			mDroppedEvents.Inc()
 		}
 	}
 	return e
@@ -376,13 +439,15 @@ func (s *Session) UpdateBounds(box *demand.Box) (Event, error) {
 		return Event{}, fmt.Errorf("delta: bounds are %d×%d but topology has %d nodes",
 			box.Min.N, box.Min.N, s.base.NumNodes())
 	}
+	ctx, span := obs.StartSpan(s.traceCtx(), "session.update")
+	defer span.End()
 	start := time.Now()
 	s.box = box
 	s.ev = s.ev.WithBox(box)
 	if s.cur == s.base {
 		s.baseEv = s.ev
 	}
-	s.reoptimize(true, nil)
+	s.reoptimize(ctx, true, nil)
 	return s.record(Event{
 		Kind:       EventUpdate,
 		Warm:       true,
@@ -466,9 +531,12 @@ func (s *Session) failedList() []graph.EdgeID {
 // rebuildEpoch recomputes after the failed-link set changed. The link
 // argument is the edge that changed state (for the event detail).
 func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error) {
+	ctx, span := obs.StartSpan(s.traceCtx(), "session."+string(kind))
+	defer span.End()
 	start := time.Now()
 	e := s.base.Edge(link)
 	detail := fmt.Sprintf("%s–%s", s.base.Name(e.From), s.base.Name(e.To))
+	span.Attr("link", detail)
 
 	if len(s.failed) == 0 {
 		// Back to the intact topology: reuse the base DAGs and warm-start
@@ -488,7 +556,7 @@ func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error)
 			}
 		}
 		s.opt = nil // epoch changed: the failure-epoch optimizer cannot carry
-		s.reoptimize(seed != nil, seed)
+		s.reoptimize(ctx, seed != nil, seed)
 		return s.record(Event{
 			Kind: kind, Detail: detail, Warm: seed != nil,
 			Perf: s.perf, ECMPPerf: s.ecmpPerf,
@@ -517,7 +585,7 @@ func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error)
 	s.dags = dags
 	s.ev = oblivious.NewEvaluator(survivor, dags, s.box, s.evalConfig())
 	s.opt = nil // fresh epoch: previous optimizer indexes the old edge IDs
-	s.reoptimize(seed != nil, seed)
+	s.reoptimize(ctx, seed != nil, seed)
 	return s.record(Event{
 		Kind: kind, Detail: detail, Warm: seed != nil,
 		Perf: s.perf, ECMPPerf: s.ecmpPerf,
@@ -535,22 +603,31 @@ func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error)
 func (s *Session) Lies(extraPerInterface int) (*LieResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ctx, span := obs.StartSpan(s.traceCtx(), "session.lies")
+	defer span.End()
 	start := time.Now()
+	_, wspan := obs.StartSpan(ctx, "session.wcmp")
 	q, err := wcmp.Apply(s.routing, extraPerInterface)
+	wspan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, fspan := obs.StartSpan(ctx, "session.fibbing")
 	syn, err := fibbing.Synthesize(s.cur, q)
 	if err != nil {
+		fspan.End()
 		return nil, err
 	}
 	if err := fibbing.Verify(s.cur, q, syn); err != nil {
+		fspan.End()
 		return nil, fmt.Errorf("delta: lie verification failed: %w", err)
 	}
 	diff := fibbing.Diff(s.prevSyn, syn)
 	if err := fibbing.VerifyDiff(s.cur, s.prevSyn, diff, syn); err != nil {
+		fspan.End()
 		return nil, fmt.Errorf("delta: diff verification failed: %w", err)
 	}
+	fspan.Attr("fake_nodes", syn.FakeNodes).Attr("churn", diff.Churn()).End()
 	s.prevSyn = syn
 	s.record(Event{
 		Kind:      EventLies,
@@ -626,20 +703,31 @@ func (s *Session) Events() []Event {
 // Subscribe registers a listener for future events. The returned cancel
 // function must be called to release the subscription. Events are
 // delivered best-effort: a subscriber that falls behind misses events
-// rather than stalling the controller.
+// rather than stalling the controller. Missed deliveries are counted —
+// per subscriber and in the session total reported by Dropped — so the
+// loss is observable instead of silent.
 func (s *Session) Subscribe() (<-chan Event, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := s.nextSub
 	s.nextSub++
-	ch := make(chan Event, 16)
-	s.subs[id] = ch
-	return ch, func() {
+	sub := &subscriber{ch: make(chan Event, 16)}
+	s.subs[id] = sub
+	return sub.ch, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if _, ok := s.subs[id]; ok {
 			delete(s.subs, id)
-			close(ch)
+			close(sub.ch)
 		}
 	}
+}
+
+// Dropped returns the number of events that were not delivered to some
+// subscriber because its channel was full, summed over the session's
+// lifetime (cancelled subscribers included).
+func (s *Session) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }

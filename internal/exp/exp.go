@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -157,6 +158,10 @@ type Config struct {
 	// Zero or negative means one worker per available CPU. Tables are
 	// bit-identical for any value given the same Seed.
 	Workers int
+	// Ctx, when it carries an obs.Tracer, threads tracing spans through the
+	// adversarial loop beneath the experiment. Excluded from JSON (and thus
+	// from sweep cache keys): tracing never changes results.
+	Ctx context.Context `json:"-"`
 }
 
 // evalConfig is the oblivious.EvalConfig every experiment derives from its
@@ -173,6 +178,7 @@ func (c Config) options() oblivious.Options {
 		Eval:      c.evalConfig(),
 		AdvIters:  c.AdvIters,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	}
 }
 

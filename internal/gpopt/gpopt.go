@@ -14,12 +14,15 @@
 package gpopt
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/geom"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
@@ -223,6 +226,27 @@ func objective(r *pdrouting.Routing, scenarios []Scenario, workers int) float64 
 // smooth-max weights are reduced serially in a fixed order, so the result
 // is bit-identical for any Config.Workers.
 func (o *Optimizer) Run(scenarios []Scenario) float64 {
+	return o.RunCtx(context.Background(), scenarios)
+}
+
+// RunCtx is Run with tracing: when ctx carries an obs.Tracer it records a
+// gpopt.run span whose attributes break the wall time into the forward
+// (propagation) and backward (gradient) passes, aggregated across
+// iterations. The extra clock reads happen only under tracing, and nothing
+// observed feeds back into the optimization — results are bit-identical
+// with tracing on or off.
+func (o *Optimizer) RunCtx(ctx context.Context, scenarios []Scenario) float64 {
+	_, span := obs.StartSpan(ctx, "gpopt.run")
+	var fwdTime, bwdTime time.Duration
+	defer func() {
+		if span != nil {
+			span.Attr("iters", o.cfg.Iters).
+				Attr("scenarios", len(scenarios)).
+				Attr("forward_ms", fwdTime.Seconds()*1e3).
+				Attr("backward_ms", bwdTime.Seconds()*1e3)
+			span.End()
+		}
+	}()
 	cfg := o.cfg
 	nE := o.g.NumEdges()
 	n := o.g.NumNodes()
@@ -273,6 +297,11 @@ func (o *Optimizer) Run(scenarios []Scenario) float64 {
 			}
 		})
 
+		var passStart time.Time
+		if span.Active() {
+			passStart = time.Now()
+		}
+
 		// Forward: per-(scenario, destination) propagations in parallel...
 		par.For(cfg.Workers, len(tasks), func(i int) {
 			tk := tasks[i]
@@ -304,6 +333,12 @@ func (o *Optimizer) Run(scenarios []Scenario) float64 {
 
 		// Smooth-max gradient: w_i = exp(u_i/τ)/Σ.
 		w := softmaxScaled(utils, tau)
+
+		if span.Active() {
+			now := time.Now()
+			fwdTime += now.Sub(passStart)
+			passStart = now
+		}
 
 		// Backward: one goroutine per destination, scenarios in order.
 		par.For(cfg.Workers, n, func(t int) {
@@ -352,6 +387,9 @@ func (o *Optimizer) Run(scenarios []Scenario) float64 {
 				}
 			}
 		})
+		if span.Active() {
+			bwdTime += time.Since(passStart)
+		}
 	}
 	return objective(o.Routing(), scenarios, cfg.Workers)
 }

@@ -1,9 +1,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sync/atomic"
+
+	"github.com/coyote-te/coyote/internal/obs"
 )
 
 // Inf is the bound value meaning "unbounded in this direction". Any
@@ -153,6 +155,11 @@ type SolveOptions struct {
 	// triggers a transparent re-solve without presolve, so enabling it
 	// never changes results beyond round-off.
 	Presolve bool
+	// Ctx, when it carries an obs.Tracer, records one lp.solve span per
+	// call with the phase breakdown (iterations, warm/dual verdicts) as
+	// attributes. Purely observational: it never affects the solve and is
+	// ignored (zero cost) when no tracer is attached.
+	Ctx context.Context
 }
 
 // SolveStats describes one sparse solve.
@@ -269,13 +276,29 @@ func (m *Model) mergeDuplicates(p *spxProb) {
 func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 	var warm *Basis
 	var sopts spxOpts
+	var span *obs.Span
+	if opts != nil && opts.Ctx != nil {
+		_, span = obs.StartSpan(opts.Ctx, "lp.solve")
+	}
 	if opts != nil {
 		warm = opts.Basis
 		sopts = spxOpts{method: opts.Method, pricing: opts.DualPricing}
 		if opts.Presolve && warm == nil {
-			return m.solvePresolved(sopts)
+			sol, err := m.solvePresolved(sopts)
+			if span != nil {
+				span.Attr("presolve", true)
+				if sol != nil {
+					span.Attr("status", sol.Status.String()).
+						Attr("iterations", sol.Stats.Iterations).
+						Attr("rows_removed", sol.Stats.PresolveRows).
+						Attr("cols_removed", sol.Stats.PresolveCols)
+				}
+				span.End()
+			}
+			return sol, err
 		}
 	}
+	defer span.End()
 	// A variable with crossed bounds makes the model trivially infeasible;
 	// the engine's bound logic assumes lo ≤ up everywhere.
 	for j := range m.vlo {
@@ -290,7 +313,16 @@ func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 	}
 	p := m.build()
 	res, stats, err := spxSolve(p, warm, sopts)
-	globalStats.record(stats)
+	recordGlobalStats(stats)
+	if span != nil {
+		span.Attr("iterations", stats.Iterations).
+			Attr("phase1_iterations", stats.Phase1Iterations).
+			Attr("dual_iterations", stats.DualIterations).
+			Attr("refactorizations", stats.Refactorizations).
+			Attr("warm_attempted", stats.WarmAttempted).
+			Attr("warm_used", stats.WarmUsed).
+			Attr("dual_used", stats.DualUsed)
+	}
 	if err != nil {
 		// Numerical failure: answer from the dense oracle instead.
 		sol, derr := m.SolveDense()
@@ -299,9 +331,11 @@ func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 		}
 		sol.Stats = stats
 		sol.Stats.DenseFallback = true
-		atomic.AddUint64(&globalStats.denseFallbacks, 1)
+		mDenseFallbacks.Inc()
+		span.Attr("dense_fallback", true)
 		return sol, nil
 	}
+	span.Attr("status", res.status.String())
 	sol := &Solution{Status: res.status, Stats: stats}
 	if res.status == Optimal {
 		sol.X = res.x[:len(m.obj):len(m.obj)]

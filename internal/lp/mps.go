@@ -86,17 +86,17 @@ type mpsCol struct {
 }
 
 type mpsParser struct {
-	section  string
-	sense    Sense
-	objName  string
-	objSeen  bool
-	sawRows  bool
-	done     bool
-	objOff   float64
-	rows     []mpsRow
-	cols     []mpsCol
-	rowIdx map[string]int // name → index into rows; objective → −1
-	colIdx map[string]int
+	section string
+	sense   Sense
+	objName string
+	objSeen bool
+	sawRows bool
+	done    bool
+	objOff  float64
+	rows    []mpsRow
+	cols    []mpsCol
+	rowIdx  map[string]int // name → index into rows; objective → −1
+	colIdx  map[string]int
 }
 
 func (p *mpsParser) header(fields []string) error {

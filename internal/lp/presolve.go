@@ -21,7 +21,6 @@ package lp
 
 import (
 	"math"
-	"sync/atomic"
 )
 
 const (
@@ -34,11 +33,11 @@ const (
 type psOpKind int8
 
 const (
-	psFixVar   psOpKind = iota // x[v] := val (bounds met, substituted out)
-	psEmptyCol                 // x[v] := val (no rows; fixed at best bound)
-	psDropRow                  // row removed as empty or redundant; dual 0
-	psSingletonRow             // row a·x[v] ∈ [rlo,rup] became a bound on v
-	psFreeColSingleton         // free v in one equality row; both removed
+	psFixVar           psOpKind = iota // x[v] := val (bounds met, substituted out)
+	psEmptyCol                         // x[v] := val (no rows; fixed at best bound)
+	psDropRow                          // row removed as empty or redundant; dual 0
+	psSingletonRow                     // row a·x[v] ∈ [rlo,rup] became a bound on v
+	psFreeColSingleton                 // free v in one equality row; both removed
 )
 
 // psOp is one reduction, replayed in reverse by postsolve.
@@ -75,9 +74,9 @@ func (m *Model) solvePresolved(sopts spxOpts) (*Solution, error) {
 	st := newPSState(m)
 	status := st.reduce()
 	nRemRows, nRemCols := st.removedCounts()
-	atomic.AddUint64(&globalStats.presolveSolves, 1)
-	atomic.AddUint64(&globalStats.presolveRows, uint64(nRemRows))
-	atomic.AddUint64(&globalStats.presolveCols, uint64(nRemCols))
+	mPresolveSolves.Inc()
+	mPresolveRows.Add(uint64(nRemRows))
+	mPresolveCols.Add(uint64(nRemCols))
 	if status != Optimal { // reduction proved Infeasible/Unbounded outright
 		return &Solution{Status: status, Stats: SolveStats{PresolveRows: nRemRows, PresolveCols: nRemCols}}, nil
 	}

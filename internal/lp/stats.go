@@ -1,6 +1,6 @@
 package lp
 
-import "sync/atomic"
+import "github.com/coyote-te/coyote/internal/obs"
 
 // StatsSnapshot aggregates solver activity across every Model.Solve in the
 // process since the last ResetGlobalStats — the source for
@@ -39,81 +39,91 @@ func (s StatsSnapshot) DualHitRate() float64 {
 	return float64(s.DualHits) / float64(s.DualAttempts)
 }
 
-type statsCounters struct {
-	solves           uint64
-	iterations       uint64
-	phase1           uint64
-	dualIterations   uint64
-	refactorizations uint64
-	warmAttempts     uint64
-	warmHits         uint64
-	dualAttempts     uint64
-	dualHits         uint64
-	presolveSolves   uint64
-	presolveRows     uint64
-	presolveCols     uint64
-	denseFallbacks   uint64
-}
+// The process-wide solver counters now live in the obs.Default metrics
+// registry (DESIGN.md §10) and are exported on GET /metrics as the
+// coyote_lp_* family; GlobalStats/ResetGlobalStats keep their historical
+// semantics by delegating to them.
+var (
+	mSolves = obs.Default.NewCounter("coyote_lp_solves_total",
+		"Sparse simplex solves attempted.")
+	mIterations = obs.Default.NewCounter("coyote_lp_iterations_total",
+		"Simplex iterations across all phases.")
+	mPhase1 = obs.Default.NewCounter("coyote_lp_phase1_iterations_total",
+		"Iterations spent restoring primal feasibility (phase 1).")
+	mDualIterations = obs.Default.NewCounter("coyote_lp_dual_iterations_total",
+		"Iterations spent in the dual simplex phase.")
+	mRefactorizations = obs.Default.NewCounter("coyote_lp_refactorizations_total",
+		"LU (re)factorizations of the basis matrix.")
+	mWarmAttempts = obs.Default.NewCounter("coyote_lp_warm_attempts_total",
+		"Solves offered a warm-start basis.")
+	mWarmHits = obs.Default.NewCounter("coyote_lp_warm_hits_total",
+		"Solves that accepted the offered warm-start basis.")
+	mDualAttempts = obs.Default.NewCounter("coyote_lp_dual_attempts_total",
+		"Solves that entered the dual simplex phase.")
+	mDualHits = obs.Default.NewCounter("coyote_lp_dual_hits_total",
+		"Dual simplex attempts that ran to a verdict.")
+	mPresolveSolves = obs.Default.NewCounter("coyote_lp_presolve_solves_total",
+		"Solves routed through the presolve/postsolve pass.")
+	mPresolveRows = obs.Default.NewCounter("coyote_lp_presolve_rows_removed_total",
+		"Rows removed by presolve, summed over solves.")
+	mPresolveCols = obs.Default.NewCounter("coyote_lp_presolve_cols_removed_total",
+		"Columns removed by presolve, summed over solves.")
+	mDenseFallbacks = obs.Default.NewCounter("coyote_lp_dense_fallbacks_total",
+		"Sparse-engine failures answered by the dense oracle.")
+)
 
-var globalStats statsCounters
-
-func (c *statsCounters) record(s SolveStats) {
-	atomic.AddUint64(&c.solves, 1)
-	atomic.AddUint64(&c.iterations, uint64(s.Iterations))
-	atomic.AddUint64(&c.phase1, uint64(s.Phase1Iterations))
-	atomic.AddUint64(&c.dualIterations, uint64(s.DualIterations))
-	atomic.AddUint64(&c.refactorizations, uint64(s.Refactorizations))
+func recordGlobalStats(s SolveStats) {
+	mSolves.Inc()
+	mIterations.Add(uint64(s.Iterations))
+	mPhase1.Add(uint64(s.Phase1Iterations))
+	mDualIterations.Add(uint64(s.DualIterations))
+	mRefactorizations.Add(uint64(s.Refactorizations))
 	if s.WarmAttempted {
-		atomic.AddUint64(&c.warmAttempts, 1)
+		mWarmAttempts.Inc()
 	}
 	if s.WarmUsed {
-		atomic.AddUint64(&c.warmHits, 1)
+		mWarmHits.Inc()
 	}
 	if s.DualAttempted {
-		atomic.AddUint64(&c.dualAttempts, 1)
+		mDualAttempts.Inc()
 	}
 	if s.DualUsed {
-		atomic.AddUint64(&c.dualHits, 1)
+		mDualHits.Inc()
 	}
 	if s.PresolveRows > 0 || s.PresolveCols > 0 {
-		atomic.AddUint64(&c.presolveRows, uint64(s.PresolveRows))
-		atomic.AddUint64(&c.presolveCols, uint64(s.PresolveCols))
+		mPresolveRows.Add(uint64(s.PresolveRows))
+		mPresolveCols.Add(uint64(s.PresolveCols))
 	}
 }
 
 // GlobalStats returns a snapshot of the process-wide solver counters.
 func GlobalStats() StatsSnapshot {
 	return StatsSnapshot{
-		Solves:           atomic.LoadUint64(&globalStats.solves),
-		Iterations:       atomic.LoadUint64(&globalStats.iterations),
-		Phase1Iterations: atomic.LoadUint64(&globalStats.phase1),
-		DualIterations:   atomic.LoadUint64(&globalStats.dualIterations),
-		Refactorizations: atomic.LoadUint64(&globalStats.refactorizations),
-		WarmAttempts:     atomic.LoadUint64(&globalStats.warmAttempts),
-		WarmHits:         atomic.LoadUint64(&globalStats.warmHits),
-		DualAttempts:     atomic.LoadUint64(&globalStats.dualAttempts),
-		DualHits:         atomic.LoadUint64(&globalStats.dualHits),
-		PresolveSolves:   atomic.LoadUint64(&globalStats.presolveSolves),
-		PresolveRows:     atomic.LoadUint64(&globalStats.presolveRows),
-		PresolveCols:     atomic.LoadUint64(&globalStats.presolveCols),
-		DenseFallbacks:   atomic.LoadUint64(&globalStats.denseFallbacks),
+		Solves:           mSolves.Value(),
+		Iterations:       mIterations.Value(),
+		Phase1Iterations: mPhase1.Value(),
+		DualIterations:   mDualIterations.Value(),
+		Refactorizations: mRefactorizations.Value(),
+		WarmAttempts:     mWarmAttempts.Value(),
+		WarmHits:         mWarmHits.Value(),
+		DualAttempts:     mDualAttempts.Value(),
+		DualHits:         mDualHits.Value(),
+		PresolveSolves:   mPresolveSolves.Value(),
+		PresolveRows:     mPresolveRows.Value(),
+		PresolveCols:     mPresolveCols.Value(),
+		DenseFallbacks:   mDenseFallbacks.Value(),
 	}
 }
 
 // ResetGlobalStats zeroes the process-wide solver counters (per-run
-// accounting for -lp-stats).
+// accounting for -lp-stats). A Prometheus scraper sees this as a counter
+// restart, which its rate functions already handle.
 func ResetGlobalStats() {
-	atomic.StoreUint64(&globalStats.solves, 0)
-	atomic.StoreUint64(&globalStats.iterations, 0)
-	atomic.StoreUint64(&globalStats.phase1, 0)
-	atomic.StoreUint64(&globalStats.dualIterations, 0)
-	atomic.StoreUint64(&globalStats.refactorizations, 0)
-	atomic.StoreUint64(&globalStats.warmAttempts, 0)
-	atomic.StoreUint64(&globalStats.warmHits, 0)
-	atomic.StoreUint64(&globalStats.dualAttempts, 0)
-	atomic.StoreUint64(&globalStats.dualHits, 0)
-	atomic.StoreUint64(&globalStats.presolveSolves, 0)
-	atomic.StoreUint64(&globalStats.presolveRows, 0)
-	atomic.StoreUint64(&globalStats.presolveCols, 0)
-	atomic.StoreUint64(&globalStats.denseFallbacks, 0)
+	for _, c := range []*obs.Counter{
+		mSolves, mIterations, mPhase1, mDualIterations, mRefactorizations,
+		mWarmAttempts, mWarmHits, mDualAttempts, mDualHits,
+		mPresolveSolves, mPresolveRows, mPresolveCols, mDenseFallbacks,
+	} {
+		c.Reset()
+	}
 }

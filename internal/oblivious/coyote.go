@@ -1,6 +1,7 @@
 package oblivious
 
 import (
+	"context"
 	"math"
 
 	"github.com/coyote-te/coyote/internal/dagx"
@@ -8,6 +9,7 @@ import (
 	"github.com/coyote-te/coyote/internal/gpopt"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/mcf"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
@@ -16,6 +18,12 @@ type Options struct {
 	Optimizer gpopt.Config // inner GP-style optimizer settings
 	Eval      EvalConfig   // adversary settings
 	AdvIters  int          // outer adversarial iterations (default 6)
+	// Ctx, when it carries an obs.Tracer (obs.WithTracer), records one span
+	// per pipeline stage of the adversarial loop — scenario seeding, each
+	// optimize/adversary round, the final ECMP guarantee — plus the nested
+	// gpopt and evaluator spans. Purely observational: results are
+	// bit-identical with or without it. nil means no tracing.
+	Ctx context.Context
 	// Workers seeds Optimizer.Workers and Eval.Workers when they are
 	// unset (≤ 0 = GOMAXPROCS; never changes results). Note that
 	// OptimizeWithEvaluator's adversary is the caller-supplied evaluator,
@@ -98,6 +106,13 @@ func OptimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 }
 
 func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts Options) (*pdrouting.Routing, *Report) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := obs.StartSpan(ctx, "oblivious.optimize")
+	defer span.End()
+
 	n := g.NumNodes()
 	report := &Report{}
 	// The optimizer inherits the evaluator's worker pool size unless the
@@ -125,6 +140,7 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 
 	// Seed scenarios: the box extremes and the geometric midpoint (the
 	// base matrix of a margin box).
+	seedCtx, seedSpan := obs.StartSpan(ctx, "oblivious.seed")
 	maxCorner := ev.Box.Max.Clone()
 	addScenario(maxCorner, ev.OptDAG(maxCorner))
 	mid := demand.NewMatrix(n)
@@ -154,17 +170,20 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 	// (near-ECMP) routing so the first optimization round already sees the
 	// demand patterns that hurt traditional splitting.
 	const topK = 4
-	for _, res := range ev.PerfTop(opt.Routing(), topK) {
+	for _, res := range ev.PerfTopCtx(seedCtx, opt.Routing(), topK) {
 		addScenario(res.WorstDM, res.Norm)
 	}
+	seedSpan.Attr("scenarios", len(scenarios)).End()
 
 	var bestRouting *pdrouting.Routing
 	bestRes := Result{Ratio: math.Inf(1)}
 	for iter := 0; iter < opts.AdvIters; iter++ {
 		report.OuterIters++
-		opt.Run(scenarios)
+		roundCtx, roundSpan := obs.StartSpan(ctx, "oblivious.round")
+		roundSpan.Attr("iter", iter).Attr("scenarios", len(scenarios))
+		opt.RunCtx(roundCtx, scenarios)
 		r := opt.Routing()
-		top := ev.PerfTop(r, topK)
+		top := ev.PerfTopCtx(roundCtx, r, topK)
 		res := top[0]
 		if res.Ratio < bestRes.Ratio {
 			bestRes = res
@@ -176,6 +195,7 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 				anyNew = true
 			}
 		}
+		roundSpan.Attr("ratio", res.Ratio).Attr("new_scenarios", anyNew).End()
 		if !anyNew {
 			break // adversary found nothing new
 		}
@@ -185,8 +205,10 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 	// ECMP guarantee: traditional equal splitting over the embedded
 	// shortest-path DAGs is a point of the solution space; never return
 	// anything that evaluates worse.
+	ecmpCtx, ecmpSpan := obs.StartSpan(ctx, "oblivious.ecmp_guarantee")
 	ecmp := ECMPOnDAGs(g, dags)
-	ecmpRes := ev.Perf(ecmp)
+	ecmpRes := ev.PerfTopCtx(ecmpCtx, ecmp, 1)[0]
+	ecmpSpan.Attr("ratio", ecmpRes.Ratio).End()
 	report.ECMPPerf = ecmpRes.Ratio
 	if ecmpRes.Ratio < bestRes.Ratio {
 		bestRes = ecmpRes

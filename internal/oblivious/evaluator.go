@@ -27,6 +27,7 @@
 package oblivious
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/maxflow"
 	"github.com/coyote-te/coyote/internal/mcf"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
@@ -258,6 +260,18 @@ func (ev *Evaluator) Perf(r *pdrouting.Routing) Result {
 // feeds several of them into the finite scenario set at once, which
 // converges in far fewer outer rounds than one-at-a-time accumulation.
 func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
+	return ev.PerfTopCtx(context.Background(), r, k)
+}
+
+// PerfTopCtx is PerfTop with tracing: when ctx carries an obs.Tracer the
+// adversary records one oblivious.adversary span covering the whole
+// candidate fan-out (corner generation, parallel OPTDAG normalization,
+// utilization propagation). The candidates themselves are evaluated in
+// parallel, so the span is deliberately one per call, not one per
+// candidate; nothing observed changes the verdict.
+func (ev *Evaluator) PerfTopCtx(ctx context.Context, r *pdrouting.Routing, k int) []Result {
+	_, span := obs.StartSpan(ctx, "oblivious.adversary")
+	defer span.End()
 	n := ev.G.NumNodes()
 	nE := ev.G.NumEdges()
 	workers := ev.cfg.Workers
@@ -379,6 +393,7 @@ func (ev *Evaluator) PerfTop(r *pdrouting.Routing, k int) []Result {
 			break
 		}
 	}
+	span.Attr("k", k).Attr("candidates", len(candidates)).Attr("singles", len(singles))
 	all := make([]Result, 0, len(results)+len(singles))
 	all = append(all, singles...)
 	for _, c := range results {

@@ -1,0 +1,55 @@
+package oblivious
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/obs"
+)
+
+// TestPerfExactSpans covers the serial slave-LP chain's tracing: with a
+// tracer in the context, PerfExactCtx must record one perf_exact span with
+// an lp.solve child per link, and must return exactly the value of an
+// untraced PerfExact on the same routing (tracing never touches the
+// numeric path).
+func TestPerfExactSpans(t *testing.T) {
+	g, ids := fig1Graph()
+	dags := fig1cDAGs(t, g, ids)
+	r := goldenRouting(t, g, ids, dags)
+	ev := NewEvaluator(g, dags, box02(g, ids), EvalConfig{Samples: 16, Seed: 1})
+
+	plain, err := ev.PerfExact(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tracer)
+	traced, err := ev.PerfExactCtx(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Ratio != plain.Ratio {
+		t.Fatalf("traced PerfExact = %g, untraced = %g", traced.Ratio, plain.Ratio)
+	}
+	if math.Abs(traced.Ratio-(math.Sqrt(5)-1)) > 1e-6 {
+		t.Fatalf("PerfExact = %g, want %g", traced.Ratio, math.Sqrt(5)-1)
+	}
+
+	var roots, solves int
+	for _, rec := range tracer.Records() {
+		switch rec.Name {
+		case "oblivious.perf_exact":
+			roots++
+		case "lp.solve":
+			solves++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("recorded %d perf_exact spans, want 1", roots)
+	}
+	if want := g.NumEdges(); solves != want {
+		t.Fatalf("recorded %d lp.solve spans, want one per link (%d)", solves, want)
+	}
+}

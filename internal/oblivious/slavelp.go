@@ -1,11 +1,13 @@
 package oblivious
 
 import (
+	"context"
 	"math"
 
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/lp"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
 
@@ -145,7 +147,15 @@ func (sl *slaveLP) setObjective(ev *Evaluator, coeff [][][]float64, targetEdge i
 // objective moves) keep it viable well beyond the old dense limits, but
 // the sampling adversary (Perf) remains the production path.
 func (ev *Evaluator) PerfExact(r *pdrouting.Routing) (Result, error) {
-	return ev.perfExact(r, true)
+	return ev.perfExact(context.Background(), r, true)
+}
+
+// PerfExactCtx is PerfExact with tracing: when ctx carries an obs.Tracer it
+// records one oblivious.perf_exact span for the whole per-link sweep plus
+// one nested lp.solve span per slave LP (the per-link solves run serially
+// on the warm-start chain, so the spans nest cleanly). Observational only.
+func (ev *Evaluator) PerfExactCtx(ctx context.Context, r *pdrouting.Routing) (Result, error) {
+	return ev.perfExact(ctx, r, true)
 }
 
 // PerfExactNoWarm is PerfExact with the per-link warm-start chain
@@ -153,10 +163,12 @@ func (ev *Evaluator) PerfExact(r *pdrouting.Routing) (Result, error) {
 // adversary ablation and BenchmarkSlaveLP; results are identical to
 // PerfExact up to round-off.
 func (ev *Evaluator) PerfExactNoWarm(r *pdrouting.Routing) (Result, error) {
-	return ev.perfExact(r, false)
+	return ev.perfExact(context.Background(), r, false)
 }
 
-func (ev *Evaluator) perfExact(r *pdrouting.Routing, warmChain bool) (Result, error) {
+func (ev *Evaluator) perfExact(ctx context.Context, r *pdrouting.Routing, warmChain bool) (Result, error) {
+	ctx, span := obs.StartSpan(ctx, "oblivious.perf_exact")
+	defer span.End()
 	g := ev.G
 	n := g.NumNodes()
 	nE := g.NumEdges()
@@ -177,7 +189,7 @@ func (ev *Evaluator) perfExact(r *pdrouting.Routing, warmChain bool) (Result, er
 	var basis *lp.Basis
 	for targetEdge := 0; targetEdge < nE; targetEdge++ {
 		sl.setObjective(ev, coeff, targetEdge)
-		sol, err := sl.model.Solve(&lp.SolveOptions{Basis: basis})
+		sol, err := sl.model.Solve(&lp.SolveOptions{Basis: basis, Ctx: ctx})
 		if err != nil {
 			return Result{}, err
 		}
@@ -199,5 +211,6 @@ func (ev *Evaluator) perfExact(r *pdrouting.Routing, warmChain bool) (Result, er
 			best = Result{Ratio: sol.Objective, WorstDM: D, MxLU: sol.Objective, Norm: 1}
 		}
 	}
+	span.Attr("links", nE).Attr("warm_chain", warmChain).Attr("ratio", best.Ratio)
 	return best, nil
 }

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers for every family (including empty
+// labeled families, so scrapers and the CI validator see the full schema),
+// then the samples. Histograms emit cumulative _bucket series with le
+// labels, plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.Type.String())
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			switch f.Type {
+			case HistogramType:
+				for _, b := range m.Buckets {
+					bw.WriteString(f.Name)
+					bw.WriteString("_bucket")
+					writeLabelSet(bw, f.Labels, m.LabelValues, "le", formatFloat(b.Upper))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatUint(b.Count, 10))
+					bw.WriteByte('\n')
+				}
+				bw.WriteString(f.Name)
+				bw.WriteString("_sum")
+				writeLabelSet(bw, f.Labels, m.LabelValues, "", "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(m.Sum))
+				bw.WriteByte('\n')
+				bw.WriteString(f.Name)
+				bw.WriteString("_count")
+				writeLabelSet(bw, f.Labels, m.LabelValues, "", "")
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(m.Count, 10))
+				bw.WriteByte('\n')
+			default:
+				bw.WriteString(f.Name)
+				writeLabelSet(bw, f.Labels, m.LabelValues, "", "")
+				bw.WriteByte(' ')
+				bw.WriteString(formatFloat(m.Value))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as text/plain; version=0.0.4 — the GET
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+}
+
+// writeLabelSet emits {k1="v1",...} (nothing when there are no labels),
+// appending the extra pair (the histogram le label) when extraKey != "".
+func writeLabelSet(w *bufio.Writer, names, values []string, extraKey, extraVal string) {
+	if len(names) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(extraVal)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatFloat renders a sample value; ±Inf use the Prometheus spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

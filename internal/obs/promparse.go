@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedFamily is one family of a parsed Prometheus text exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []ParsedSample
+}
+
+// ParsedSample is one sample line.
+type ParsedSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseProm parses and validates Prometheus text exposition format
+// (version 0.0.4). It is strict where the format's consumers are:
+//
+//   - metric and label names must be well-formed;
+//   - samples must follow a # TYPE header for their family, with a
+//     recognized type keyword, and match the declared name (histogram
+//     samples may carry the _bucket/_sum/_count suffixes);
+//   - no duplicate series (same name and label set twice);
+//   - every histogram must have ascending le bounds ending in +Inf,
+//     cumulative (non-decreasing) bucket counts, and a _count equal to
+//     its +Inf bucket.
+//
+// It backs the CI scrape gate (internal/tools/promcheck) and the obs unit
+// tests, so the exposition writer and its validator cannot drift apart.
+func ParseProm(r io.Reader) ([]ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []ParsedFamily
+	byName := make(map[string]*ParsedFamily)
+	seen := make(map[string]bool) // duplicate-series detection
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			f := byName[name]
+			if f == nil {
+				out = append(out, ParsedFamily{Name: name, Type: "untyped"})
+				f = &out[len(out)-1]
+				byName[name] = f
+			}
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+			} else {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type keyword", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					if len(f.Samples) > 0 {
+						return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+					}
+					f.Type = fields[3]
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := byName[familyOf(s.Name, byName)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE header", lineNo, s.Name)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if out[i].Type == "histogram" {
+			if err := validateHistogram(&out[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// familyOf maps a sample name to its family name: exact match first, then
+// the histogram suffixes.
+func familyOf(name string, byName map[string]*ParsedFamily) string {
+	if _, ok := byName[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := byName[base]; f != nil && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		end, err := parseLabels(line[i:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+		i += end
+	}
+	rest := strings.TrimSpace(line[i:])
+	// The value may be followed by an optional timestamp; take field one.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'name value [timestamp]', got %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at in[0] == '{' and
+// returns the number of bytes consumed.
+func parseLabels(in string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(in) && in[i] != '=' {
+			i++
+		}
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		name := in[start:i]
+		if !labelNameRe.MatchString(name) {
+			return 0, fmt.Errorf("bad label name %q", name)
+		}
+		i++ // '='
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: want quoted value", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(in) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", name, in[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := into[name]; dup {
+			return 0, fmt.Errorf("duplicate label %s", name)
+		}
+		into[name] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func seriesKey(s ParsedSample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// validateHistogram checks the cumulative-bucket invariants of one
+// histogram family, per distinct non-le label set.
+func validateHistogram(f *ParsedFamily) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		sum    bool
+		count  float64
+		hasCnt bool
+	}
+	groups := map[string]*series{}
+	groupOf := func(s ParsedSample) *series {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := seriesKey(ParsedSample{Name: f.Name, Labels: labels})
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			v, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			g := groupOf(s)
+			g.les = append(g.les, v)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			groupOf(s).sum = true
+		case f.Name + "_count":
+			g := groupOf(s)
+			g.count, g.hasCnt = s.Value, true
+		default:
+			return fmt.Errorf("%s: unexpected histogram sample %s", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("%s: series %s has no buckets", f.Name, key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if !(g.les[i] > g.les[i-1]) {
+				return fmt.Errorf("%s: le bounds not ascending in %s", f.Name, key)
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s: bucket counts not cumulative in %s", f.Name, key)
+			}
+		}
+		if !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("%s: series %s missing the +Inf bucket", f.Name, key)
+		}
+		if !g.sum || !g.hasCnt {
+			return fmt.Errorf("%s: series %s missing _sum or _count", f.Name, key)
+		}
+		if g.count != g.counts[len(g.counts)-1] {
+			return fmt.Errorf("%s: series %s _count %g != +Inf bucket %g",
+				f.Name, key, g.count, g.counts[len(g.counts)-1])
+		}
+	}
+	return nil
+}

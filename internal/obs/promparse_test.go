@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePromValid(t *testing.T) {
+	in := `# HELP up whether the target is up
+# TYPE up gauge
+up 1
+# TYPE reqs_total counter
+reqs_total{path="/state",code="200"} 12
+reqs_total{path="/fail",code="409"} 1
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 1.25
+lat_seconds_count 5
+`
+	fams, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams[1].Samples[0].Labels["path"] != "/state" {
+		t.Fatalf("labels: %+v", fams[1].Samples[0])
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE header":              "orphan_total 1\n",
+		"bad type keyword":            "# TYPE x countr\nx 1\n",
+		"TYPE after samples":          "# TYPE x counter\nx 1\n# TYPE x gauge\n",
+		"duplicate series":            "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"bad metric name":             "# TYPE 9x counter\n",
+		"bad label name":              "# TYPE x counter\nx{9a=\"1\"} 1\n",
+		"unterminated label value":    "# TYPE x counter\nx{a=\"1} 1\n",
+		"bad escape":                  `# TYPE x counter` + "\n" + `x{a="\q"} 1` + "\n",
+		"bad value":                   "# TYPE x counter\nx one\n",
+		"histogram without +Inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"histogram non-cumulative":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram count mismatch":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"histogram missing sum":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"histogram bucket without le": "# TYPE h histogram\nh_bucket 3\nh_sum 1\nh_count 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, in)
+		}
+	}
+}
+
+func TestParsePromTolerates(t *testing.T) {
+	// Free-form comments, blank lines, timestamps, and summary families
+	// from other exporters must not be rejected.
+	in := `# a comment
+
+# TYPE x counter
+x 1 1712345678000
+# TYPE s summary
+s{quantile="0.5"} 0.1
+s_sum 10
+s_count 100
+`
+	if _, err := ParseProm(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,26 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/obs"
+)
+
+// Pool activity metrics (obs.Default, DESIGN.md §10). Counters cost two
+// atomic adds per For call — not per leaf — and the queue-wait histogram
+// is only touched on the parallel path (one observation per worker per
+// loop: the delay between scheduling the loop and the worker pulling its
+// first chunk, i.e. goroutine startup + run-queue pressure). None of this
+// reads back into the computation, so the determinism contract is
+// untouched.
+var (
+	mLoops = obs.Default.NewCounter("coyote_par_loops_total",
+		"Parallel for-loops executed (including inline single-worker runs).")
+	mTasks = obs.Default.NewCounter("coyote_par_tasks_total",
+		"Loop leaves (work items) executed across all loops.")
+	mQueueWait = obs.Default.NewHistogram("coyote_par_queue_wait_seconds",
+		"Delay between loop start and each worker grabbing its first chunk.",
+		obs.ExpBuckets(1e-6, 4, 10)) // 1µs .. ~0.26s
 )
 
 // Resolve maps a Workers configuration value to an effective worker count:
@@ -41,6 +61,8 @@ func For(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	mLoops.Inc()
+	mTasks.Add(uint64(n))
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
@@ -58,16 +80,22 @@ func For(workers, n int, fn func(i int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
+	spawned := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			first := true
 			for {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
 					return
+				}
+				if first {
+					mQueueWait.ObserveSince(spawned)
+					first = false
 				}
 				end := start + chunk
 				if end > n {

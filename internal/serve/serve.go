@@ -10,6 +10,8 @@
 //	                tunes virtual next-hops per interface, default 3)
 //	GET  /stats     the full event log (recompute cost, warm/cold, churn)
 //	GET  /events    Server-Sent Events stream of session events
+//	GET  /metrics   Prometheus text exposition of the obs.Default registry
+//	                (lp solver, session, par pool, sweep, HTTP families)
 //	POST /update    demand-box update: {"scale":1.2} scales the current
 //	                bounds; {"margin":2,"entries":[{"from":"a","to":"b",
 //	                "rate":1.5},...]} rebuilds them around an explicit base
@@ -38,6 +40,7 @@ import (
 	"github.com/coyote-te/coyote/internal/delta"
 	"github.com/coyote-te/coyote/internal/demand"
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/obs"
 )
 
 // Server exposes one Session over HTTP.
@@ -54,14 +57,17 @@ func New(ses *delta.Session) *Server {
 	s.mux.HandleFunc("GET /lies", s.handleLies)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.Handle("GET /metrics", obs.Default.Handler())
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /fail", s.handleFail)
 	s.mux.HandleFunc("POST /recover", s.handleRecover)
 	return s
 }
 
-// Handler returns the route table.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the route table, wrapped with request-count/latency
+// instrumentation (coyote_http_* — labeled by route pattern, not raw URL,
+// so cardinality stays bounded).
+func (s *Server) Handler() http.Handler { return obs.InstrumentHTTP(s.mux) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -103,13 +109,14 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 	cur := s.ses.Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":       base.NumNodes(),
-		"links":       links,
-		"failed":      len(failed),
-		"live_edges":  cur.NumEdges(),
-		"perf":        s.ses.Perf(),
-		"ecmp_perf":   s.ses.ECMPPerf(),
-		"event_count": len(s.ses.Events()),
+		"nodes":          base.NumNodes(),
+		"links":          links,
+		"failed":         len(failed),
+		"live_edges":     cur.NumEdges(),
+		"perf":           s.ses.Perf(),
+		"ecmp_perf":      s.ses.ECMPPerf(),
+		"event_count":    len(s.ses.Events()),
+		"dropped_events": s.ses.Dropped(),
 	})
 }
 

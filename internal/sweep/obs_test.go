@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/obs"
+)
+
+// TestRunTraced checks the runner's span tree and the determinism contract
+// at once: a traced run must stream bytes identical to an untraced run,
+// record exactly one sweep.unit span per unit, and give every unit a
+// cache_probe and (on a cold cache) a compute child.
+func TestRunTraced(t *testing.T) {
+	c := tinyCampaign(t)
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if _, err := Run(c, Options{Cache: cache, Stream: &plain}); err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tracer)
+	var traced bytes.Buffer
+	rep, err := Run(c, Options{Stream: &traced, Ctx: ctx}) // no cache: every unit computes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), traced.Bytes()) {
+		t.Fatal("traced run is not byte-identical to the untraced run")
+	}
+
+	units, probes, computes, puts := 0, 0, 0, 0
+	unitIDs := make(map[uint64]bool)
+	children := make(map[uint64]map[string]int)
+	for _, r := range tracer.Records() {
+		switch r.Name {
+		case "sweep.unit":
+			units++
+			unitIDs[r.ID] = true
+		case "sweep.cache_probe":
+			probes++
+		case "sweep.compute":
+			computes++
+		case "sweep.cache_put":
+			puts++
+		}
+		if r.Parent != 0 {
+			if children[r.Parent] == nil {
+				children[r.Parent] = make(map[string]int)
+			}
+			children[r.Parent][r.Name]++
+		}
+	}
+	if units != len(c.Units) {
+		t.Fatalf("%d sweep.unit spans, want %d", units, len(c.Units))
+	}
+	if computes != len(c.Units) {
+		t.Fatalf("%d sweep.compute spans, want %d (cold run computes everything)", computes, len(c.Units))
+	}
+	if probes != 0 || puts != 0 {
+		t.Fatalf("cache spans without a cache: %d probes, %d puts", probes, puts)
+	}
+	for id := range unitIDs {
+		if children[id]["sweep.compute"] != 1 {
+			t.Fatalf("sweep.unit %d has %d compute children, want 1", id, children[id]["sweep.compute"])
+		}
+	}
+	if rep.Misses != len(c.Units) {
+		t.Fatalf("cacheless run reported %d misses, want %d", rep.Misses, len(c.Units))
+	}
+
+	// With a warm cache every unit's span carries probe + hit, no compute.
+	warmTracer := obs.NewTracer()
+	warmCtx := obs.WithTracer(context.Background(), warmTracer)
+	var warm bytes.Buffer
+	if _, err := Run(c, Options{Cache: cache, Stream: &warm, Ctx: warmCtx}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), warm.Bytes()) {
+		t.Fatal("traced warm run is not byte-identical")
+	}
+	warmProbes, warmComputes := 0, 0
+	for _, r := range warmTracer.Records() {
+		switch r.Name {
+		case "sweep.cache_probe":
+			warmProbes++
+		case "sweep.compute":
+			warmComputes++
+		}
+	}
+	if warmProbes != len(c.Units) || warmComputes != 0 {
+		t.Fatalf("warm run: %d probes, %d computes; want %d probes, 0 computes",
+			warmProbes, warmComputes, len(c.Units))
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,7 +10,22 @@ import (
 	"time"
 
 	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/par"
+)
+
+// Sweep progress metrics (obs.Default, DESIGN.md §10). Units are coarse —
+// seconds each — so per-unit counter updates are free; the per-shard
+// planned/done gauges give a scraper live campaign progress. The shard
+// label is "shard/shards" ("0/1" for an unsharded run), a bounded
+// cardinality: one series per process.
+var (
+	mUnits = obs.Default.NewCounterVec("coyote_sweep_units_total",
+		"Sweep units finished, by result (computed, cached, failed).", "result")
+	mUnitsPlanned = obs.Default.NewGaugeVec("coyote_sweep_units_planned",
+		"Units this shard will execute in the current campaign.", "shard")
+	mUnitsDone = obs.Default.NewGaugeVec("coyote_sweep_units_done",
+		"Units this shard has completed in the current campaign.", "shard")
 )
 
 // Options configures one Run.
@@ -39,6 +55,11 @@ type Options struct {
 	// Progress, when non-nil, is called serially after each unit
 	// completes, in completion order.
 	Progress func(UnitStatus)
+	// Ctx, when it carries an obs.Tracer, records one sweep.unit span per
+	// unit with cache-probe/compute/cache-put/verify children (and the
+	// full adversarial-loop span tree beneath compute). Tracing never
+	// reaches the cache key or the result bytes.
+	Ctx context.Context
 }
 
 // Result is the deterministic record of one unit: exactly the bytes the
@@ -121,42 +142,69 @@ func Run(c Campaign, opts Options) (*Report, error) {
 		}
 	}
 
+	shardLabel := fmt.Sprintf("%d/%d", opts.Shard, opts.Shards)
+	mUnitsPlanned.With(shardLabel).Set(float64(len(mine)))
+	mUnitsDone.With(shardLabel).Set(0)
+
+	runCtx := opts.Ctx
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+
 	results := make([]Result, len(mine))
 	statuses := make([]UnitStatus, len(mine))
-	st := &streamer{w: opts.Stream, progress: opts.Progress, results: results, statuses: statuses, done: make([]bool, len(mine))}
+	st := &streamer{w: opts.Stream, progress: opts.Progress, results: results, statuses: statuses, done: make([]bool, len(mine)), shard: shardLabel}
 
 	err := par.ForErr(opts.Workers, len(mine), func(i int) error {
 		u := c.Units[mine[i]]
+		unitCtx, unitSpan := obs.StartSpan(runCtx, "sweep.unit")
+		unitSpan.Attr("unit", u.ID)
+		defer unitSpan.End()
 		key, err := u.Key(c.Cfg, fp)
 		if err != nil {
+			mUnits.With("failed").Inc()
 			return fmt.Errorf("sweep: unit %s: %w", u.ID, err)
 		}
 		unitStart := time.Now()
 		var table *exp.Table
 		cached := false
 		if opts.Cache != nil {
+			_, probeSpan := obs.StartSpan(unitCtx, "sweep.cache_probe")
 			entry, hit, err := opts.Cache.Get(key)
+			probeSpan.Attr("hit", hit).End()
 			if err != nil {
+				mUnits.With("failed").Inc()
 				return err
 			}
 			if hit {
 				if entry.Unit != u.ID {
+					mUnits.With("failed").Inc()
 					return fmt.Errorf("sweep: cache entry %s belongs to unit %s, wanted %s (key collision?)", key, entry.Unit, u.ID)
 				}
 				table, cached = entry.Table, true
 				if opts.Verify {
-					if err := verifyHit(u, c.Cfg, entry); err != nil {
+					_, verifySpan := obs.StartSpan(unitCtx, "sweep.verify")
+					err := verifyHit(u, c.Cfg, entry)
+					verifySpan.End()
+					if err != nil {
+						mUnits.With("failed").Inc()
 						return err
 					}
 				}
 			}
 		}
 		if table == nil {
-			table, err = u.Run(c.Cfg)
+			computeCtx, computeSpan := obs.StartSpan(unitCtx, "sweep.compute")
+			runCfg := c.Cfg
+			runCfg.Ctx = computeCtx
+			table, err = u.Run(runCfg)
+			computeSpan.End()
 			if err != nil {
+				mUnits.With("failed").Inc()
 				return fmt.Errorf("sweep: unit %s: %w", u.ID, err)
 			}
 			if opts.Cache != nil {
+				_, putSpan := obs.StartSpan(unitCtx, "sweep.cache_put")
 				err := opts.Cache.Put(&Entry{
 					Key:         key,
 					Unit:        u.ID,
@@ -164,11 +212,14 @@ func Run(c Campaign, opts Options) (*Report, error) {
 					CreatedUnix: time.Now().Unix(),
 					ElapsedMS:   time.Since(unitStart).Milliseconds(),
 				})
+				putSpan.End()
 				if err != nil {
+					mUnits.With("failed").Inc()
 					return err
 				}
 			}
 		}
+		unitSpan.Attr("cached", cached)
 		return st.complete(i, Result{Unit: u.ID, Table: table}, UnitStatus{
 			Unit:    u.ID,
 			Key:     key,
@@ -223,6 +274,7 @@ func verifyHit(u Unit, cfg exp.Config, entry *Entry) error {
 type streamer struct {
 	w        io.Writer
 	progress func(UnitStatus)
+	shard    string // "shard/shards" metric label of this run
 
 	mu       sync.Mutex
 	results  []Result
@@ -237,6 +289,12 @@ func (s *streamer) complete(i int, r Result, us UnitStatus) error {
 	s.results[i] = r
 	s.statuses[i] = us
 	s.done[i] = true
+	if us.Cached {
+		mUnits.With("cached").Inc()
+	} else {
+		mUnits.With("computed").Inc()
+	}
+	mUnitsDone.With(s.shard).Add(1)
 	if s.progress != nil {
 		s.progress(us)
 	}
