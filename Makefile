@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz-smoke smoke-examples sweep metrics-smoke
+.PHONY: all build test vet race cover bench bench-compare fuzz-smoke smoke-examples sweep metrics-smoke fleet-smoke
 
 all: build test
 
@@ -51,9 +51,33 @@ metrics-smoke: build
 	$(GO) run ./internal/tools/promcheck \
 		-url http://$(METRICS_ADDR)/metrics \
 		-warm http://$(METRICS_ADDR)/state \
-		-require coyote_lp_solves_total,coyote_lp_iterations_total,coyote_session_events_total,coyote_session_recomputes_total,coyote_par_loops_total,coyote_http_requests_total,coyote_http_request_seconds \
+		-require coyote_lp_solves_total,coyote_lp_iterations_total,coyote_session_events_total,coyote_session_recomputes_total,coyote_par_loops_total,coyote_http_requests_total,coyote_http_request_seconds,coyote_fleet_heartbeats_total,coyote_fleet_shards,coyote_fleet_merged_results_total,coyote_log_records_total \
 		-require-samples coyote_lp_solves_total,coyote_session_events_total,coyote_http_requests_total \
 		-v
+
+# fleet-smoke is the live fleet-control-room gate (DESIGN.md §11): boot
+# coyote-serve as the controller, run the golden campaign as two
+# sequential coyote-sweep shards posting heartbeats and results to it,
+# then (a) have fleetcheck assert both shards reported final with the
+# controller's incrementally merged /fleet/results byte-identical to the
+# merge-at-end `coyote-sweep merge` output, and (b) snapshot /fleet and
+# /dashboard for CI artifact upload. Shards run sequentially so the
+# target behaves on 1-CPU runners; the protocol is the same either way.
+FLEET_ADDR ?= localhost:18090
+fleet-smoke: build
+	$(GO) build -o /tmp/coyote-serve ./cmd/coyote-serve
+	$(GO) build -o /tmp/coyote-sweep ./cmd/coyote-sweep
+	$(GO) build -o /tmp/fleetcheck ./internal/tools/fleetcheck
+	/tmp/coyote-serve -addr $(FLEET_ADDR) -topo NSF -quick & \
+	SERVE_PID=$$!; \
+	trap 'kill $$SERVE_PID 2>/dev/null' EXIT; \
+	/tmp/coyote-sweep run -campaign golden -shard 0/2 -cache .sweep-cache \
+		-controller http://$(FLEET_ADDR) -hb 500ms -out fleet-shard0.jsonl -log fleet-shard0.log.jsonl && \
+	/tmp/coyote-sweep run -campaign golden -shard 1/2 -cache .sweep-cache \
+		-controller http://$(FLEET_ADDR) -hb 500ms -out fleet-shard1.jsonl -log fleet-shard1.log.jsonl && \
+	/tmp/coyote-sweep merge -out fleet-merged.jsonl fleet-shard0.jsonl fleet-shard1.jsonl && \
+	/tmp/fleetcheck -url http://$(FLEET_ADDR) -shards 2 -merged fleet-merged.jsonl \
+		-fleet-out fleet-report.json -dashboard-out fleet-dashboard.html
 
 # bench regenerates $(BENCH_OUT), the machine-readable perf trajectory
 # (BENCH_PR2..PR6.json are kept as the historical record):
@@ -76,15 +100,29 @@ bench:
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson -o $(BENCH_OUT)
 
+# bench-compare measures the suite fresh and diffs it against the last
+# committed trajectory point, then prints the full PR-over-PR table.
+# Advisory by default (shared runners are noisy); pass
+# BENCH_COMPARE_FLAGS=-fail to gate on it.
+BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_COMPARE_FLAGS ?=
+bench-compare:
+	$(MAKE) bench BENCH_OUT=bench-fresh.json
+	$(GO) run ./internal/tools/benchjson compare $(BENCH_COMPARE_FLAGS) $(BENCH_BASELINE) bench-fresh.json
+	$(GO) run ./internal/tools/benchjson trajectory $(wildcard BENCH_PR*.json) bench-fresh.json
+
 # fuzz-smoke runs each native fuzz target briefly — the CI gate that
 # malformed real-world topology and MPS files error instead of panicking
-# (and, for MPS, that everything parseable round-trips byte-stably).
+# (and, for MPS, that everything parseable round-trips byte-stably; for
+# the Prometheus exposition parser, that accepted pages keep coherent
+# histograms).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadGraphML$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSNDlib$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadAuto$$' -fuzztime 15s ./internal/scen
 	$(GO) test -run '^$$' -fuzz '^FuzzReadMPS$$' -fuzztime 15s ./internal/lp
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProm$$' -fuzztime 15s ./internal/obs
 
 # smoke-examples builds and runs every examples/* binary (CI does the same
 # so examples cannot silently rot). gravitysweep is the slow one; the

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	coyote "github.com/coyote-te/coyote"
@@ -45,6 +47,11 @@ func main() {
 	)
 	flag.Parse()
 	printLPStats = *lpStats
+	// SIGINT/SIGTERM stop between experiments (the in-flight experiment
+	// finishes) and return through main, so the deferred trace flush and
+	// metrics dump still run — an interrupted -all leaves a loadable trace.
+	interruptCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *traceOut != "" {
 		tracer := obs.NewTracer()
 		traceCtx = obs.WithTracer(context.Background(), tracer)
@@ -72,6 +79,10 @@ func main() {
 	switch {
 	case *all:
 		for _, id := range exp.IDs() {
+			if interruptCtx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "coyote-eval: interrupted; skipping remaining experiments")
+				break
+			}
 			if err := runOne(id, cfg); err != nil {
 				fatal(err)
 			}

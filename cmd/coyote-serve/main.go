@@ -22,11 +22,17 @@
 //	curl localhost:8080/stats
 //	curl -N localhost:8080/events        # live SSE stream
 //	curl localhost:8080/metrics          # Prometheus text exposition
+//	curl localhost:8080/fleet            # sharded-sweep campaign status
+//	open http://localhost:8080/dashboard # live HTML control room
 //
-// With -debug-addr a second listener serves the debug plane (net/http/pprof
-// profiles, expvar, and the same /metrics). SIGINT/SIGTERM shuts down
-// gracefully: in-flight requests drain, SSE streams close, and -trace (if
-// set) flushes the recorded session span trees to disk.
+// The fleet control room (DESIGN.md §11) is always on: coyote-sweep
+// workers launched with -controller post heartbeats and result batches
+// here, and /fleet, /fleet/results, /fleet/events, and /dashboard expose
+// the merged campaign. With -debug-addr a second listener serves the
+// debug plane (net/http/pprof profiles, expvar, /metrics, and the same
+// /dashboard). SIGINT/SIGTERM shuts down gracefully: in-flight requests
+// drain, SSE streams close, and -trace (if set) flushes the recorded
+// session span trees to disk.
 package main
 
 import (
@@ -72,7 +78,27 @@ func main() {
 	sweepCache := flag.String("sweep-cache", "", "content-addressed result cache directory for /sweep")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof, /debug/vars, /metrics (off when empty)")
 	traceOut := flag.String("trace", "", "write a trace of every session transition to this file on shutdown (.jsonl = span records, else Chrome trace-event JSON)")
+	logOut := flag.String("log", "", `structured event log destination (JSONL file, or "-" for stderr)`)
+	logLevel := flag.String("log-level", "info", "minimum level for the event log: debug, info, warn, error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalln("coyote-serve:", err)
+	}
+	obs.SetLogLevel(level)
+	switch *logOut {
+	case "":
+	case "-":
+		obs.SetLogOutput(os.Stderr)
+	default:
+		lf, err := os.Create(*logOut)
+		if err != nil {
+			log.Fatalln("coyote-serve:", err)
+		}
+		defer lf.Close()
+		obs.SetLogOutput(lf)
+	}
 
 	g, name, err := buildTopology(*topoName, *topoFile, *gen, scen.Params{
 		N: *n, K: *k, Rows: *rows, Cols: *cols, Seed: *seed,
@@ -152,7 +178,7 @@ func main() {
 			BaseContext: func(net.Listener) context.Context { return ctx },
 		}
 		go func() {
-			log.Printf("coyote-serve: debug plane on %s (/debug/pprof /debug/vars /metrics)", *debugAddr)
+			log.Printf("coyote-serve: debug plane on %s (/debug/pprof /debug/vars /metrics /dashboard)", *debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Println("coyote-serve: debug listener:", err)
 			}
@@ -164,7 +190,7 @@ func main() {
 		Handler:     srv.Handler(),
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
-	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events /metrics; POST /update /fail /recover)", *addr)
+	log.Printf("coyote-serve: listening on %s (GET /state /routing /lies /stats /events /metrics /fleet /dashboard; POST /update /fail /recover)", *addr)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {

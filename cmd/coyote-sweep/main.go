@@ -8,6 +8,9 @@
 //
 //	coyote-sweep run    -campaign golden -cache .sweep-cache -out run.jsonl -v
 //	coyote-sweep run    -campaign quick -shard 0/4 -out shard0.jsonl   # one of four shard processes
+//	coyote-sweep run    -campaign quick -shard 0/2 -controller http://localhost:8080 \
+//	                    -log shard0.log.jsonl -out shard0.jsonl        # fleet worker: heartbeats +
+//	                                                                   # streamed results to coyote-serve
 //	coyote-sweep resume -campaign quick -cache .sweep-cache -out run.jsonl
 //	coyote-sweep status -campaign quick -cache .sweep-cache
 //	coyote-sweep merge  -out merged.jsonl shard0.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
@@ -26,6 +29,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/coyote-te/coyote/internal/obs"
@@ -86,8 +91,12 @@ run/resume also take:
   -verify                       recompute cache hits, fail unless bit-identical
   -v                            per-unit progress on stderr
   -metrics                      dump Prometheus metrics to stderr after the run
-  -debug-addr ADDR              serve /debug/pprof, /debug/vars, /metrics while running
+  -debug-addr ADDR              serve /debug/pprof, /debug/vars, /metrics, /dashboard while running
   -trace FILE                   per-unit span trace (.jsonl, or Chrome/Perfetto JSON)
+  -controller URL               POST heartbeats and streamed results to this coyote-serve
+  -hb DURATION                  heartbeat interval (default 2s)
+  -log FILE                     structured event log (JSONL; "-" = stderr)
+  -log-level LEVEL              debug|info|warn|error (default info)
 diff takes:
   -tol X                        numeric tolerance (default 0 = exact)
   -golden DIR                   compare FILE against the golden corpus dir`)
@@ -131,8 +140,12 @@ func runCmd(args []string, resume bool) error {
 		verify    = fs.Bool("verify", false, "recompute every cache hit and require bit-identical results")
 		verbose   = fs.Bool("v", false, "per-unit progress on stderr")
 		metrics   = fs.Bool("metrics", false, "dump the metrics registry (Prometheus text) to stderr after the run")
-		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /metrics on this address for the run's duration")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars, /metrics, /dashboard on this address for the run's duration")
 		traceOut  = fs.String("trace", "", "write a per-unit/per-stage trace here (.jsonl = span records, else Chrome trace-event JSON)")
+		ctrl      = fs.String("controller", "", "coyote-serve base URL to POST fleet heartbeats and streamed results to")
+		hbEvery   = fs.Duration("hb", 2*time.Second, "heartbeat interval for -controller")
+		logOut    = fs.String("log", "", `structured event log destination (JSONL file, or "-" for stderr)`)
+		logLevel  = fs.String("log-level", "info", "minimum level for the event log: debug, info, warn, error")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -172,16 +185,42 @@ func runCmd(args []string, resume bool) error {
 		fmt.Fprintf(os.Stderr, "resuming %s campaign: %d/%d units cached\n", c.Name, cached, len(c.Units))
 	}
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(level)
+	switch *logOut {
+	case "":
+	case "-":
+		obs.SetLogOutput(os.Stderr)
+	default:
+		lf, err := os.Create(*logOut)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		obs.SetLogOutput(lf)
+		defer obs.SetLogOutput(nil)
+	}
+
 	opts := sweep.Options{
 		Cache:       cache,
 		Fingerprint: cf.fingerprint,
 		Workers:     *workers,
 		Verify:      *verify,
 	}
+	// SIGINT/SIGTERM cancel the run context: in-flight units finish (their
+	// results land in the cache and the JSONL stream), no new units start,
+	// and the trace file is still written — the campaign stays resumable
+	// and the trace loadable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Ctx = ctx
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
-		opts.Ctx = obs.WithTracer(context.Background(), tracer)
+		opts.Ctx = obs.WithTracer(ctx, tracer)
 	}
 	if *debugAddr != "" {
 		debugSrv := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(obs.Default)}
@@ -197,6 +236,12 @@ func runCmd(args []string, resume bool) error {
 		if _, err := fmt.Sscanf(*shard, "%d/%d", &opts.Shard, &opts.Shards); err != nil {
 			return fmt.Errorf("bad -shard %q (want i/n): %v", *shard, err)
 		}
+	}
+	var reporter *sweep.Reporter
+	if *ctrl != "" {
+		shards := max(opts.Shards, 1)
+		reporter = sweep.NewReporter(*ctrl, c.Name, opts.Shard, shards, *hbEvery)
+		reporter.Hook(&opts, sweep.PlannedUnits(c, opts.Shard, shards))
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -221,7 +266,15 @@ func runCmd(args []string, resume bool) error {
 		}
 	}
 
+	if reporter != nil {
+		reporter.Start()
+	}
 	rep, err := sweep.Run(c, opts)
+	if reporter != nil {
+		if derr := reporter.Close(err == nil); derr != nil {
+			fmt.Fprintf(os.Stderr, "coyote-sweep: controller delivery (advisory): %v\n", derr)
+		}
+	}
 	if tracer != nil {
 		if werr := tracer.WriteFile(*traceOut); werr != nil {
 			fmt.Fprintln(os.Stderr, "coyote-sweep:", werr)
@@ -233,6 +286,13 @@ func runCmd(args []string, resume bool) error {
 		obs.Default.WriteProm(os.Stderr)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			cacheHint := ""
+			if cache != nil {
+				cacheHint = " -cache " + cache.Dir()
+			}
+			fmt.Fprintf(os.Stderr, "interrupted: finished units are streamed and cached; resume with: coyote-sweep resume -campaign %s%s\n", c.Name, cacheHint)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "%s campaign: %d units (%d cache hits, %d computed) in %v\n",

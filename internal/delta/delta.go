@@ -72,6 +72,10 @@ var (
 		"Events dropped because a subscriber's channel was full.")
 )
 
+// sessionLog records every state transition as a structured event —
+// the narrative the dashboard's event tail renders alongside the metrics.
+var sessionLog = obs.Scope("session")
+
 // maxCarriedCritical bounds the critical-matrix set carried across
 // recomputes; the oldest matrices are dropped first (the adversary will
 // re-discover them if they still bind). The bound also caps the per-step
@@ -409,6 +413,9 @@ func (s *Session) record(e Event) Event {
 	e.Seq = len(s.events)
 	s.events = append(s.events, e)
 	mEvents.With(string(e.Kind)).Inc()
+	sessionLog.Info("session transition",
+		"seq", e.Seq, "kind", string(e.Kind), "detail", e.Detail, "warm", e.Warm,
+		"perf", e.Perf, "churn", e.Churn, "elapsed", e.Elapsed)
 	if e.Kind == EventLies {
 		mLSAChurn.Add(uint64(e.Churn))
 	}

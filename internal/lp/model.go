@@ -327,13 +327,24 @@ func (m *Model) Solve(opts *SolveOptions) (*Solution, error) {
 		// Numerical failure: answer from the dense oracle instead.
 		sol, derr := m.SolveDense()
 		if derr != nil {
+			lpLog.Error("sparse solve failed and dense fallback failed",
+				"sparse_err", err, "dense_err", derr)
 			return nil, err
 		}
 		sol.Stats = stats
 		sol.Stats.DenseFallback = true
 		mDenseFallbacks.Inc()
+		lpLog.Warn("sparse solve failed; dense fallback answered",
+			"err", err, "iterations", stats.Iterations)
 		span.Attr("dense_fallback", true)
 		return sol, nil
+	}
+	if stats.DualAttempted && !stats.DualUsed {
+		// The dual phase hit its budget (anti-cycling bail) and the solve
+		// restarted from the primal path — worth a trace when hunting
+		// warm-start regressions, not worth a warning.
+		lpLog.Debug("dual simplex bailed to primal",
+			"dual_iterations", stats.DualIterations, "iterations", stats.Iterations)
 	}
 	span.Attr("status", res.status.String())
 	sol := &Solution{Status: res.status, Stats: stats}

@@ -72,6 +72,11 @@ var (
 		"Sparse-engine failures answered by the dense oracle.")
 )
 
+// lpLog records the solver's exceptional paths — dense fallbacks at warn,
+// dual-phase bailouts at debug. Ordinary solves stay silent; the counters
+// above carry the volume.
+var lpLog = obs.Scope("lp")
+
 func recordGlobalStats(s SolveStats) {
 	mSolves.Inc()
 	mIterations.Add(uint64(s.Iterations))

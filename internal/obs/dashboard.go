@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// The embedded control-room dashboard (DESIGN.md §11): one self-contained
+// HTML page with zero external dependencies — no CDN scripts, fonts, or
+// stylesheets — that renders live shard progress (GET /fleet + its SSE
+// stream), the metrics registry (GET /metrics.json), and the structured
+// event tail (GET /logtail). Sections whose endpoint is absent (a sweep
+// worker's -debug-addr has no fleet plane) hide themselves.
+
+// familyJSON is one family of the GET /metrics.json report.
+type familyJSON struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help,omitempty"`
+	Type    string       `json:"type"`
+	Labels  []string     `json:"labels,omitempty"`
+	Metrics []metricJSON `json:"metrics"`
+}
+
+// metricJSON is one child: counters and gauges carry Value; histograms
+// carry Count/Sum and the snapshot-estimated quantiles the dashboard
+// renders (Snapshot().Quantile).
+type metricJSON struct {
+	LabelValues []string `json:"label_values,omitempty"`
+	Value       *float64 `json:"value,omitempty"`
+	Count       *uint64  `json:"count,omitempty"`
+	Sum         *float64 `json:"sum,omitempty"`
+	Q50         *float64 `json:"q50,omitempty"`
+	Q90         *float64 `json:"q90,omitempty"`
+	Q99         *float64 `json:"q99,omitempty"`
+}
+
+// JSONHandler serves the registry snapshot as JSON — the dashboard's
+// metrics feed (the text /metrics endpoint stays the scrape surface).
+// Histogram children include q50/q90/q99 estimates so latency families
+// are readable without client-side bucket math.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		out := make([]familyJSON, 0, len(snap))
+		for _, f := range snap {
+			fj := familyJSON{Name: f.Name, Help: f.Help, Type: f.Type.String(), Labels: f.Labels}
+			for _, m := range f.Metrics {
+				mj := metricJSON{LabelValues: m.LabelValues}
+				if f.Type == HistogramType {
+					count, sum := m.Count, m.Sum
+					mj.Count, mj.Sum = &count, &sum
+					if count > 0 {
+						mj.Q50 = finitePtr(m.Quantile(0.50))
+						mj.Q90 = finitePtr(m.Quantile(0.90))
+						mj.Q99 = finitePtr(m.Quantile(0.99))
+					}
+				} else {
+					v := m.Value
+					mj.Value = &v
+				}
+				fj.Metrics = append(fj.Metrics, mj)
+			}
+			out = append(out, fj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.Encode(map[string]any{"families": out})
+	})
+}
+
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// DashboardHandler serves the embedded dashboard page.
+func DashboardHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	})
+}
+
+// dashboardHTML is the whole dashboard: markup, styles, and script in one
+// constant so the binary serves it with no filesystem or network
+// dependency. The script polls /metrics.json and /logtail, polls /fleet,
+// and additionally listens on the /fleet/events SSE stream to refresh the
+// fleet section the moment a heartbeat or merge lands.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>coyote control room</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; background: #11141a; color: #d7dde7;
+         font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  header { padding: 10px 16px; border-bottom: 1px solid #262c38;
+           display: flex; justify-content: space-between; align-items: baseline; }
+  header h1 { font-size: 15px; margin: 0; color: #e8edf5; }
+  header .sub { color: #7a8598; font-size: 12px; }
+  main { padding: 12px 16px 40px; max-width: 1100px; margin: 0 auto; }
+  section { margin-bottom: 22px; }
+  section[hidden] { display: none; }
+  h2 { font-size: 12px; text-transform: uppercase; letter-spacing: .08em;
+       color: #8b96aa; border-bottom: 1px solid #262c38; padding-bottom: 4px; }
+  .kpis { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 10px; }
+  .kpi { background: #181d26; border: 1px solid #262c38; border-radius: 6px;
+         padding: 6px 12px; min-width: 90px; }
+  .kpi .v { font-size: 17px; color: #e8edf5; }
+  .kpi .k { font-size: 11px; color: #7a8598; }
+  .shard { margin: 6px 0; }
+  .shard .meta { display: flex; justify-content: space-between; color: #aab4c4; }
+  .bar { height: 10px; background: #232936; border-radius: 5px; overflow: hidden; margin-top: 2px; }
+  .bar i { display: block; height: 100%; background: #4c8dff; transition: width .4s; }
+  .shard.straggler .bar i { background: #e0a93c; }
+  .shard.final .bar i { background: #3ec46d; }
+  .shard.straggler .meta::after { content: "straggler"; color: #e0a93c; }
+  table { border-collapse: collapse; width: 100%; }
+  td, th { text-align: left; padding: 2px 10px 2px 0; white-space: nowrap; }
+  th { color: #7a8598; font-weight: normal; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  tr:hover td { background: #181d26; }
+  #log { background: #0d1015; border: 1px solid #262c38; border-radius: 6px;
+         padding: 8px 10px; max-height: 320px; overflow-y: auto; }
+  #log div { white-space: pre-wrap; }
+  .lv-debug { color: #667085; } .lv-info { color: #c3ccd9; }
+  .lv-warn { color: #e0a93c; } .lv-error { color: #ef6a6a; }
+  .muted { color: #7a8598; }
+</style>
+</head>
+<body>
+<header>
+  <h1>coyote control room</h1>
+  <div class="sub"><span id="status">connecting…</span></div>
+</header>
+<main>
+  <section id="fleet-section" hidden>
+    <h2>Fleet</h2>
+    <div class="kpis" id="fleet-kpis"></div>
+    <div id="shards"></div>
+  </section>
+  <section id="metrics-section" hidden>
+    <h2>Metrics</h2>
+    <table id="metrics"><thead>
+      <tr><th>family</th><th>labels</th><th class="num">value / count</th>
+          <th class="num">p50</th><th class="num">p90</th><th class="num">p99</th></tr>
+    </thead><tbody></tbody></table>
+  </section>
+  <section id="log-section" hidden>
+    <h2>Event log</h2>
+    <div id="log"></div>
+  </section>
+</main>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+async function getJSON(url) {
+  const r = await fetch(url, {cache: "no-store"});
+  if (!r.ok) throw new Error(url + ": " + r.status);
+  return r.json();
+}
+function fmtSecs(s) {
+  if (s == null || !isFinite(s) || s < 0) return "–";
+  if (s < 1e-3) return (s * 1e6).toFixed(0) + "µs";
+  if (s < 1) return (s * 1e3).toFixed(1) + "ms";
+  if (s < 120) return s.toFixed(1) + "s";
+  return (s / 60).toFixed(1) + "m";
+}
+function fmtNum(v) {
+  if (v == null) return "–";
+  if (Number.isInteger(v)) return String(v);
+  return v.toPrecision(4);
+}
+function kpi(k, v) { return '<div class="kpi"><div class="v">' + v + '</div><div class="k">' + k + '</div></div>'; }
+function esc(s) { return String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;"); }
+
+async function refreshFleet() {
+  let f;
+  try { f = await getJSON("fleet"); } catch (e) { $("fleet-section").hidden = true; return; }
+  $("fleet-section").hidden = false;
+  $("fleet-kpis").innerHTML =
+    kpi("campaign", esc(f.campaign || "–")) + kpi("shards", f.shards) +
+    kpi("done", f.done + "/" + f.planned) + kpi("merged", f.merged) +
+    kpi("cached", f.cached) + kpi("failed", f.failed) +
+    kpi("eta", fmtSecs(f.eta_seconds));
+  const box = $("shards");
+  box.innerHTML = "";
+  for (const s of f.shard_status || []) {
+    const d = document.createElement("div");
+    d.className = "shard" + (s.straggler ? " straggler" : "") + (s.final ? " final" : "");
+    const pct = s.planned > 0 ? Math.round(100 * s.done / s.planned) : 0;
+    d.innerHTML = '<div class="meta"><span>shard ' + esc(s.shard) +
+      (s.current ? ' · <span class="muted">' + esc(s.current) + "</span>" : "") +
+      "</span><span>" + s.done + "/" + s.planned +
+      " (" + s.cached + " cached, " + s.failed + " failed) · eta " + fmtSecs(s.eta_seconds) +
+      "</span></div>" + '<div class="bar"><i style="width:' + pct + '%"></i></div>';
+    box.appendChild(d);
+  }
+}
+
+async function refreshMetrics() {
+  let m;
+  try { m = await getJSON("metrics.json"); } catch (e) { $("metrics-section").hidden = true; return; }
+  $("metrics-section").hidden = false;
+  const rows = [];
+  for (const fam of m.families || []) {
+    for (const c of fam.metrics || []) {
+      const labels = (c.label_values || []).map((v, i) => (fam.labels[i] || "") + "=" + v).join(" ");
+      if (fam.type === "histogram") {
+        rows.push("<tr><td>" + esc(fam.name) + "</td><td>" + esc(labels) +
+          '</td><td class="num">' + fmtNum(c.count) +
+          '</td><td class="num">' + fmtSecs(c.q50) + '</td><td class="num">' + fmtSecs(c.q90) +
+          '</td><td class="num">' + fmtSecs(c.q99) + "</td></tr>");
+      } else {
+        rows.push("<tr><td>" + esc(fam.name) + "</td><td>" + esc(labels) +
+          '</td><td class="num">' + fmtNum(c.value) +
+          '</td><td class="num">–</td><td class="num">–</td><td class="num">–</td></tr>');
+      }
+    }
+  }
+  $("metrics").querySelector("tbody").innerHTML = rows.join("");
+}
+
+async function refreshLog() {
+  let t;
+  try { t = await getJSON("logtail?n=120"); } catch (e) { $("log-section").hidden = true; return; }
+  $("log-section").hidden = false;
+  const el = $("log");
+  const stick = el.scrollTop + el.clientHeight >= el.scrollHeight - 8;
+  el.innerHTML = (t.records || []).map((r) => {
+    const extra = Object.keys(r).filter((k) => !["ts", "level", "scope", "msg"].includes(k))
+      .map((k) => k + "=" + JSON.stringify(r[k])).join(" ");
+    return '<div class="lv-' + esc(r.level) + '">' + esc(r.ts.slice(11, 23)) + " [" +
+      esc(r.scope || "-") + "] " + esc(r.msg) + (extra ? ' <span class="muted">' + esc(extra) + "</span>" : "") + "</div>";
+  }).join("");
+  if (stick) el.scrollTop = el.scrollHeight;
+}
+
+async function refreshAll() {
+  await Promise.all([refreshFleet(), refreshMetrics(), refreshLog()]);
+  $("status").textContent = "updated " + new Date().toLocaleTimeString();
+}
+refreshAll();
+setInterval(refreshAll, 2000);
+try {
+  const es = new EventSource("fleet/events");
+  let pending = false;
+  es.onmessage = es.onerror = null;
+  for (const kind of ["heartbeat", "merge"]) {
+    es.addEventListener(kind, () => {
+      if (pending) return;
+      pending = true;
+      setTimeout(() => { pending = false; refreshFleet(); }, 150);
+    });
+  }
+} catch (e) { /* no fleet SSE on this listener */ }
+</script>
+</body>
+</html>
+`

@@ -21,6 +21,10 @@ var (
 		"path")
 )
 
+// httpLog records request failures; success traffic stays out of the log
+// (the metrics carry the volume story).
+var httpLog = Scope("http")
+
 // statusWriter captures the response code. The SSE endpoint requires the
 // wrapper to keep http.Flusher visible, hence the two variants.
 type statusWriter struct {
@@ -59,12 +63,23 @@ func InstrumentHTTP(next http.Handler) http.Handler {
 		}
 		httpRequests.With(path, strconv.Itoa(sw.code)).Inc()
 		httpLatency.With(path).ObserveSince(start)
+		if sw.code >= 400 {
+			level := LevelWarn
+			if sw.code >= 500 {
+				level = LevelError
+			}
+			httpLog.Log(level, "request failed",
+				"method", r.Method, "path", path, "url", r.URL.Path, "code", sw.code,
+				"elapsed", time.Since(start))
+		}
 	})
 }
 
 // DebugMux returns the debug plane served behind -debug-addr: the pprof
-// profile endpoints, expvar, and the registry's /metrics. Mounting it on
-// a separate listener keeps profiling off the public API surface.
+// profile endpoints, expvar, the registry's /metrics (text) and
+// /metrics.json, the /logtail event tail, and the embedded /dashboard.
+// Mounting it on a separate listener keeps profiling off the public API
+// surface.
 func DebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -74,5 +89,8 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics.json", reg.JSONHandler())
+	mux.Handle("/logtail", LogTailHandler())
+	mux.Handle("/dashboard", DashboardHandler())
 	return mux
 }

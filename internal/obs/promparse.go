@@ -259,6 +259,23 @@ func seriesKey(s ParsedSample) string {
 	return b.String()
 }
 
+// ValidateHistograms re-checks the cumulative-bucket invariants of every
+// histogram family in a parsed exposition: ascending le bounds ending in
+// +Inf, non-decreasing cumulative counts, _sum and _count present, and
+// _count equal to the +Inf bucket. ParseProm already enforces this; the
+// exported form lets external validators (internal/tools/promcheck) run
+// and report the coherence check explicitly.
+func ValidateHistograms(families []ParsedFamily) error {
+	for i := range families {
+		if families[i].Type == "histogram" {
+			if err := validateHistogram(&families[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // validateHistogram checks the cumulative-bucket invariants of one
 // histogram family, per distinct non-le label set.
 func validateHistogram(f *ParsedFamily) error {

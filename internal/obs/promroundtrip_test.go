@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildRandomRegistry fills a registry from a seeded PRNG: random family
+// mix, label cardinalities, values, and label values that exercise the
+// escaping path (quotes, backslashes, newlines, unicode).
+func buildRandomRegistry(rng *rand.Rand) *Registry {
+	reg := NewRegistry()
+	nastyValues := []string{
+		"plain", `with"quote`, `back\slash`, "new\nline", "ünïcødé",
+		"", "a=b,c=d", `{"json":"ish"}`,
+	}
+	nFam := 1 + rng.Intn(8)
+	for fi := 0; fi < nFam; fi++ {
+		name := fmt.Sprintf("fam_%d_total", fi)
+		help := fmt.Sprintf("family %d with \\ and\nnewline", fi)
+		nLabels := rng.Intn(3)
+		labels := make([]string, nLabels)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("l%d", i)
+		}
+		values := func() []string {
+			vs := make([]string, nLabels)
+			for i := range vs {
+				vs[i] = nastyValues[rng.Intn(len(nastyValues))]
+			}
+			return vs
+		}
+		switch rng.Intn(3) {
+		case 0:
+			cv := reg.NewCounterVec(name, help, labels...)
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				cv.With(values()...).Add(uint64(rng.Intn(1000)))
+			}
+		case 1:
+			gv := reg.NewGaugeVec(name, help, labels...)
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				gv.With(values()...).Set(rng.NormFloat64() * 100)
+			}
+		default:
+			hv := reg.NewHistogramVec(name, help, ExpBuckets(0.001, 2, 1+rng.Intn(10)), labels...)
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				h := hv.With(values()...)
+				for j := 0; j < rng.Intn(50); j++ {
+					h.Observe(rng.Float64() * 3)
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// TestPromRoundTripProperty is the property test for the exposition pair:
+// for many seeded-random registries, ParseProm(WriteProm(reg)) must
+// reproduce every family and every sample of the snapshot exactly.
+func TestPromRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		reg := buildRandomRegistry(rng)
+
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			t.Fatalf("seed %d: WriteProm: %v", seed, err)
+		}
+		parsed, err := ParseProm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: ParseProm rejected our own exposition: %v\n%s", seed, err, buf.String())
+		}
+		compareExposition(t, seed, reg.Snapshot(), parsed)
+	}
+}
+
+func compareExposition(t *testing.T, seed int64, snap Snapshot, parsed []ParsedFamily) {
+	t.Helper()
+	byName := make(map[string]ParsedFamily, len(parsed))
+	for _, f := range parsed {
+		byName[f.Name] = f
+	}
+	if len(parsed) != len(snap) {
+		t.Errorf("seed %d: %d families parsed, want %d", seed, len(parsed), len(snap))
+	}
+	for _, f := range snap {
+		pf, ok := byName[f.Name]
+		if !ok {
+			t.Errorf("seed %d: family %s lost in round trip", seed, f.Name)
+			continue
+		}
+		if pf.Type != f.Type.String() {
+			t.Errorf("seed %d: %s type %q, want %q", seed, f.Name, pf.Type, f.Type)
+		}
+		if want := escapeHelp(f.Help); pf.Help != want {
+			t.Errorf("seed %d: %s help %q, want %q", seed, f.Name, pf.Help, want)
+		}
+		// Index parsed samples by name + full label set.
+		samples := make(map[string]float64, len(pf.Samples))
+		for _, s := range pf.Samples {
+			samples[seriesKey(s)] = s.Value
+		}
+		lookup := func(name string, labels map[string]string) (float64, bool) {
+			v, ok := samples[seriesKey(ParsedSample{Name: name, Labels: labels})]
+			return v, ok
+		}
+		wantSamples := 0
+		for _, m := range f.Metrics {
+			base := make(map[string]string, len(f.Labels))
+			for i, l := range f.Labels {
+				base[l] = m.LabelValues[i]
+			}
+			if f.Type == HistogramType {
+				wantSamples += len(m.Buckets) + 2
+				for _, b := range m.Buckets {
+					labels := make(map[string]string, len(base)+1)
+					for k, v := range base {
+						labels[k] = v
+					}
+					labels["le"] = formatFloat(b.Upper)
+					if v, ok := lookup(f.Name+"_bucket", labels); !ok || v != float64(b.Count) {
+						t.Errorf("seed %d: %s bucket le=%s = %v,%v want %d",
+							seed, f.Name, labels["le"], v, ok, b.Count)
+					}
+				}
+				if v, ok := lookup(f.Name+"_sum", base); !ok || v != m.Sum {
+					t.Errorf("seed %d: %s_sum = %v,%v want %v", seed, f.Name, v, ok, m.Sum)
+				}
+				if v, ok := lookup(f.Name+"_count", base); !ok || v != float64(m.Count) {
+					t.Errorf("seed %d: %s_count = %v,%v want %d", seed, f.Name, v, ok, m.Count)
+				}
+			} else {
+				wantSamples++
+				v, ok := lookup(f.Name, base)
+				if !ok {
+					t.Errorf("seed %d: %s%v sample lost", seed, f.Name, m.LabelValues)
+					continue
+				}
+				same := v == m.Value || (math.IsNaN(v) && math.IsNaN(m.Value))
+				if !same {
+					t.Errorf("seed %d: %s%v = %v, want %v", seed, f.Name, m.LabelValues, v, m.Value)
+				}
+			}
+		}
+		if len(pf.Samples) != wantSamples {
+			t.Errorf("seed %d: %s has %d samples, want %d", seed, f.Name, len(pf.Samples), wantSamples)
+		}
+	}
+}
+
+// FuzzParseProm asserts the strict parser never panics and that accepted
+// input containing histograms still satisfies the coherence validator
+// (ParseProm validates internally; ValidateHistograms must agree).
+func FuzzParseProm(f *testing.F) {
+	seeds := []string{
+		"",
+		"# HELP a_total help\n# TYPE a_total counter\na_total 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n",
+		"# TYPE g gauge\ng{k=\"v\\\"q\",j=\"\\\\\"} -1e9\n",
+		"# TYPE s summary\n",
+		"a_total 1\n",
+		"# TYPE h histogram\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"1\"} 1\n",
+		"# TYPE c counter\nc NaN\nc +Inf\n",
+		"# bare comment\n\n\n",
+	}
+	// Stress with a real exposition too.
+	reg := buildRandomRegistry(rand.New(rand.NewSource(7)))
+	var buf bytes.Buffer
+	reg.WriteProm(&buf)
+	seeds = append(seeds, buf.String())
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		fams, err := ParseProm(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := ValidateHistograms(fams); err != nil {
+			t.Fatalf("ParseProm accepted input that ValidateHistograms rejects: %v", err)
+		}
+	})
+}

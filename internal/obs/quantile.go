@@ -1,0 +1,99 @@
+package obs
+
+import "math"
+
+// Histogram quantile estimation (DESIGN.md §11): the standard Prometheus
+// histogram_quantile estimator over a snapshot's cumulative buckets —
+// find the bucket containing the target rank and interpolate linearly
+// inside it. Estimates are derived from snapshots only; the live atomics
+// are never read back by any algorithm, so the determinism contract is
+// untouched.
+
+// Quantile estimates the p-quantile (p in [0, 1]) of a histogram metric
+// snapshot. It returns NaN for non-histogram metrics and for histograms
+// with no observations. Rank falling in the +Inf bucket returns the
+// highest finite bucket bound (the estimator cannot extrapolate past it).
+func (m MetricSnapshot) Quantile(p float64) float64 {
+	if len(m.Buckets) == 0 || m.Count == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(m.Count)
+	prevUpper, prevCount := 0.0, uint64(0)
+	for _, b := range m.Buckets {
+		if float64(b.Count) >= rank && b.Count > prevCount {
+			if math.IsInf(b.Upper, 1) {
+				// Everything at or past the rank sits beyond the last
+				// finite bound; the bound itself is the best estimate.
+				return prevUpper
+			}
+			span := float64(b.Count - prevCount)
+			return prevUpper + (b.Upper-prevUpper)*((rank-float64(prevCount))/span)
+		}
+		prevUpper, prevCount = b.Upper, b.Count
+	}
+	return prevUpper
+}
+
+// Family finds a family snapshot by name.
+func (s Snapshot) Family(name string) (FamilySnapshot, bool) {
+	for _, f := range s {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Quantile estimates the p-quantile of a histogram family, aggregating
+// the buckets of every child (all children of a family share bucket
+// bounds). The boolean is false when the family is absent, not a
+// histogram, or empty.
+func (s Snapshot) Quantile(family string, p float64) (float64, bool) {
+	f, ok := s.Family(family)
+	if !ok || f.Type != HistogramType || len(f.Metrics) == 0 {
+		return math.NaN(), false
+	}
+	agg := f.Metrics[0]
+	if len(f.Metrics) > 1 {
+		buckets := append([]Bucket(nil), f.Metrics[0].Buckets...)
+		count := f.Metrics[0].Count
+		for _, m := range f.Metrics[1:] {
+			if len(m.Buckets) != len(buckets) {
+				return math.NaN(), false
+			}
+			for i := range buckets {
+				buckets[i].Count += m.Buckets[i].Count
+			}
+			count += m.Count
+		}
+		agg = MetricSnapshot{Buckets: buckets, Count: count}
+	}
+	if agg.Count == 0 {
+		return math.NaN(), false
+	}
+	return agg.Quantile(p), true
+}
+
+// Total sums a family's children: counter/gauge values, or histogram
+// observation counts. The boolean is false when the family is absent.
+func (s Snapshot) Total(family string) (float64, bool) {
+	f, ok := s.Family(family)
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	for _, m := range f.Metrics {
+		if f.Type == HistogramType {
+			total += float64(m.Count)
+		} else {
+			total += m.Value
+		}
+	}
+	return total, true
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var m MetricSnapshot
+	if !math.IsNaN(m.Quantile(0.5)) {
+		t.Errorf("empty snapshot quantile should be NaN")
+	}
+	m = MetricSnapshot{Buckets: []Bucket{{Upper: 1}, {Upper: math.Inf(1)}}}
+	if !math.IsNaN(m.Quantile(0.5)) {
+		t.Errorf("zero-count histogram quantile should be NaN")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 100 observations: 50 in (0, 1], 30 in (1, 2], 20 in (2, +Inf).
+	m := MetricSnapshot{
+		Count: 100,
+		Buckets: []Bucket{
+			{Upper: 1, Count: 50},
+			{Upper: 2, Count: 80},
+			{Upper: math.Inf(1), Count: 100},
+		},
+	}
+	cases := []struct{ p, want float64 }{
+		{0.25, 0.5}, // rank 25 → halfway through the first bucket (lower bound 0)
+		{0.50, 1.0}, // rank 50 → exactly the first bound
+		{0.65, 1.5}, // rank 65 → halfway through (1, 2]
+		{0.80, 2.0}, // rank 80 → exactly the second bound
+		{0.95, 2.0}, // rank in +Inf bucket → highest finite bound
+		{-0.5, 0.0}, // clamped to p=0
+		{1.50, 2.0}, // clamped to p=1 → +Inf bucket → finite bound
+	}
+	for _, c := range cases {
+		if got := m.Quantile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileAgainstLiveHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "", ExpBuckets(0.001, 2, 12))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000.0) // uniform on (0, 1]
+	}
+	snap := reg.Snapshot()
+	q50, ok := snap.Quantile("lat", 0.5)
+	if !ok {
+		t.Fatalf("family lookup failed")
+	}
+	// True median 0.5; bucket bounds near it are 0.256 and 0.512, so the
+	// estimate must land within that bucket.
+	if q50 <= 0.256 || q50 > 0.512 {
+		t.Errorf("q50 = %v, want within (0.256, 0.512]", q50)
+	}
+}
+
+func TestSnapshotQuantileAggregatesChildren(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogramVec("lat", "", []float64{1, 2, 4}, "shard")
+	for i := 0; i < 10; i++ {
+		h.With("0").Observe(0.5) // all low
+	}
+	for i := 0; i < 10; i++ {
+		h.With("1").Observe(3.0) // all high
+	}
+	q50, ok := reg.Snapshot().Quantile("lat", 0.5)
+	if !ok {
+		t.Fatalf("family lookup failed")
+	}
+	// Aggregate: 10 obs ≤ 1, 10 obs in (2, 4]; rank 10 hits the first bound.
+	if math.Abs(q50-1.0) > 1e-12 {
+		t.Errorf("aggregated q50 = %v, want 1.0", q50)
+	}
+}
+
+func TestSnapshotQuantileMisses(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("c_total", "").Inc()
+	snap := reg.Snapshot()
+	if _, ok := snap.Quantile("absent", 0.5); ok {
+		t.Errorf("absent family should miss")
+	}
+	if _, ok := snap.Quantile("c_total", 0.5); ok {
+		t.Errorf("counter family should miss")
+	}
+}
+
+func TestSnapshotTotal(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.NewCounterVec("req_total", "", "code")
+	cv.With("200").Add(7)
+	cv.With("500").Add(2)
+	reg.NewGauge("g", "").Set(1.5)
+	h := reg.NewHistogram("lat", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(0.7)
+	snap := reg.Snapshot()
+	if v, ok := snap.Total("req_total"); !ok || v != 9 {
+		t.Errorf("Total(req_total) = %v, %v", v, ok)
+	}
+	if v, ok := snap.Total("g"); !ok || v != 1.5 {
+		t.Errorf("Total(g) = %v, %v", v, ok)
+	}
+	if v, ok := snap.Total("lat"); !ok || v != 2 {
+		t.Errorf("Total(lat) = %v, %v (want observation count)", v, ok)
+	}
+	if _, ok := snap.Total("absent"); ok {
+		t.Errorf("Total(absent) should miss")
+	}
+}

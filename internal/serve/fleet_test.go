@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/sweep"
+)
+
+// syntheticResults fabricates n unit results with distinct tables; the
+// exact contents don't matter, only that bytes survive the round trip.
+func syntheticResults(n int) []sweep.Result {
+	out := make([]sweep.Result, n)
+	for i := range out {
+		out[i] = sweep.Result{
+			Unit: fmt.Sprintf("unit-%02d", i),
+			Table: &exp.Table{
+				Title:   fmt.Sprintf("synthetic %d", i),
+				Columns: []string{"k", "v"},
+				Rows:    [][]string{{"x", fmt.Sprintf("%d.5", i)}},
+			},
+		}
+	}
+	return out
+}
+
+// TestFleetEndpoints drives the controller like two shard workers:
+// interleaved heartbeats and result batches, then asserts GET /fleet sees
+// both shards and GET /fleet/results serves exactly the merge-at-end
+// bytes.
+func TestFleetEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	results := syntheticResults(7)
+	// Shard split by index parity, like the runner's i % shards protocol.
+	var shard0, shard1 []sweep.Result
+	for i, r := range results {
+		if i%2 == 0 {
+			shard0 = append(shard0, r)
+		} else {
+			shard1 = append(shard1, r)
+		}
+	}
+
+	hb := func(shard, done, planned int, current string, final bool) {
+		resp, body := postJSON(t, ts.URL+"/fleet/heartbeat", sweep.Heartbeat{
+			Campaign: "synthetic", Shard: shard, Shards: 2,
+			Planned: planned, Done: done, Current: current,
+			Elapsed: float64(done) * 0.5, Final: final,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("heartbeat shard %d: status %d body %v", shard, resp.StatusCode, body)
+		}
+	}
+	post := func(shard int, rs ...sweep.Result) {
+		resp, body := postJSON(t, ts.URL+"/fleet/results", sweep.ResultBatch{
+			Campaign: "synthetic", Shard: shard, Results: rs,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("results shard %d: status %d body %v", shard, resp.StatusCode, body)
+		}
+	}
+
+	// Interleave: shard 1 starts first, batches arrive out of unit order
+	// across shards.
+	hb(1, 0, len(shard1), "unit-01", false)
+	hb(0, 0, len(shard0), "unit-00", false)
+	post(1, shard1[0], shard1[1])
+	post(0, shard0[0])
+	hb(0, 1, len(shard0), "unit-02", false)
+	post(0, shard0[1], shard0[2])
+	post(1, shard1[2])
+	hb(1, 3, len(shard1), "", true)
+	post(0, shard0[3])
+	hb(0, 4, len(shard0), "", true)
+
+	// GET /fleet must see both shards, both final, campaign complete.
+	var rep struct {
+		Campaign    string  `json:"campaign"`
+		Shards      int     `json:"shards"`
+		Planned     int     `json:"planned"`
+		Done        int     `json:"done"`
+		Merged      int     `json:"merged"`
+		ETA         float64 `json:"eta_seconds"`
+		Complete    bool    `json:"complete"`
+		ShardStatus []struct {
+			Shard int  `json:"shard"`
+			Done  int  `json:"done"`
+			Final bool `json:"final"`
+		} `json:"shard_status"`
+	}
+	getJSON(t, ts.URL+"/fleet", &rep)
+	if rep.Campaign != "synthetic" || rep.Shards != 2 || len(rep.ShardStatus) != 2 {
+		t.Fatalf("fleet report: %+v", rep)
+	}
+	if rep.Planned != 7 || rep.Done != 7 || rep.Merged != 7 || !rep.Complete || rep.ETA != 0 {
+		t.Errorf("fleet totals wrong: %+v", rep)
+	}
+	for _, st := range rep.ShardStatus {
+		if !st.Final {
+			t.Errorf("shard %d not final: %+v", st.Shard, st)
+		}
+	}
+
+	// GET /fleet/results must serve exactly the merge-at-end artifact.
+	merged, err := sweep.MergeResults(shard0, shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sweep.WriteJSONL(&want, merged); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/fleet/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("incremental /fleet/results differs from merge-at-end:\ngot:  %s\nwant: %s", got, want.Bytes())
+	}
+
+	// A duplicate unit must be rejected with 409 and leave the merge
+	// untouched.
+	resp2, _ := postJSON(t, ts.URL+"/fleet/results", sweep.ResultBatch{
+		Campaign: "synthetic", Shard: 0, Results: []sweep.Result{shard0[0]},
+	})
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate batch: status %d, want 409", resp2.StatusCode)
+	}
+	var rep2 struct {
+		Merged int `json:"merged"`
+	}
+	getJSON(t, ts.URL+"/fleet", &rep2)
+	if rep2.Merged != 7 {
+		t.Errorf("duplicate batch mutated the merge: %d units", rep2.Merged)
+	}
+}
+
+func TestFleetHeartbeatValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	bad := []sweep.Heartbeat{
+		{Campaign: "", Shard: 0, Shards: 1},
+		{Campaign: "c", Shard: -1, Shards: 2},
+		{Campaign: "c", Shard: 2, Shards: 2},
+		{Campaign: "c", Shard: 0, Shards: 0},
+	}
+	for _, hb := range bad {
+		resp, _ := postJSON(t, ts.URL+"/fleet/heartbeat", hb)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("heartbeat %+v: status %d, want 400", hb, resp.StatusCode)
+		}
+	}
+}
+
+// TestFleetCampaignReset pins the one-campaign-at-a-time contract: a
+// heartbeat for a new campaign resets shard tracking and the aggregate.
+func TestFleetCampaignReset(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rs := syntheticResults(2)
+	postJSON(t, ts.URL+"/fleet/heartbeat", sweep.Heartbeat{Campaign: "a", Shard: 0, Shards: 1, Planned: 2})
+	postJSON(t, ts.URL+"/fleet/results", sweep.ResultBatch{Campaign: "a", Shard: 0, Results: rs[:1]})
+	postJSON(t, ts.URL+"/fleet/heartbeat", sweep.Heartbeat{Campaign: "b", Shard: 0, Shards: 1, Planned: 2})
+	var rep struct {
+		Campaign string `json:"campaign"`
+		Merged   int    `json:"merged"`
+	}
+	getJSON(t, ts.URL+"/fleet", &rep)
+	if rep.Campaign != "b" || rep.Merged != 0 {
+		t.Errorf("campaign switch did not reset: %+v", rep)
+	}
+	// The same unit may now merge again — it belongs to the new campaign.
+	resp, _ := postJSON(t, ts.URL+"/fleet/results", sweep.ResultBatch{Campaign: "b", Shard: 0, Results: rs[:1]})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("re-merge after reset: status %d", resp.StatusCode)
+	}
+}
+
+// TestFleetStragglerDetection feeds the state machine directly with an
+// injected clock: a shard with stale heartbeats, or one whose ETA dwarfs
+// the fleet median, must be flagged.
+func TestFleetStragglerDetection(t *testing.T) {
+	now := time.Unix(1000, 0)
+	f := newFleetState()
+	f.now = func() time.Time { return now }
+
+	add := func(shard, done, planned int, elapsed float64) {
+		f.shards[shard] = &fleetShard{
+			hb: sweep.Heartbeat{
+				Campaign: "c", Shard: shard, Shards: 3,
+				Planned: planned, Done: done, Elapsed: elapsed,
+			},
+			seen: now,
+		}
+	}
+	// Shards 0 and 1 complete 1 unit/s with 10 left (ETA 10s); shard 2
+	// crawls at 0.1 unit/s with 10 left (ETA 100s > 2× median).
+	add(0, 10, 20, 10)
+	add(1, 10, 20, 10)
+	add(2, 2, 12, 20)
+
+	rep := f.report()
+	if len(rep.ShardStatus) != 3 {
+		t.Fatalf("want 3 shards, got %d", len(rep.ShardStatus))
+	}
+	if rep.ShardStatus[0].Straggler || rep.ShardStatus[1].Straggler {
+		t.Errorf("healthy shards flagged: %+v", rep.ShardStatus)
+	}
+	if !rep.ShardStatus[2].Straggler {
+		t.Errorf("slow shard not flagged: %+v", rep.ShardStatus[2])
+	}
+	if rep.ETA < 45 { // campaign ETA tracks the slowest shard (ETA 100s)
+		t.Errorf("campaign ETA %v should track the straggler", rep.ETA)
+	}
+
+	// Staleness: move the clock 20s past the last heartbeat; every live
+	// shard is now stale, hence a straggler.
+	now = now.Add(20 * time.Second)
+	rep = f.report()
+	for _, st := range rep.ShardStatus {
+		if !st.Straggler {
+			t.Errorf("stale shard %d not flagged", st.Shard)
+		}
+	}
+}
+
+// TestFleetSSE watches /fleet/events while a heartbeat and a merge land.
+func TestFleetSSE(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/fleet/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan string, 8)
+	go func() {
+		buf := make([]byte, 4096)
+		var acc string
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				acc += string(buf[:n])
+				for {
+					i := strings.Index(acc, "\n\n")
+					if i < 0 {
+						break
+					}
+					events <- acc[:i]
+					acc = acc[i+2:]
+				}
+			}
+			if err != nil {
+				close(events)
+				return
+			}
+		}
+	}()
+
+	// Give the subscriber a beat to register before publishing.
+	time.Sleep(50 * time.Millisecond)
+	postJSON(t, ts.URL+"/fleet/heartbeat", sweep.Heartbeat{Campaign: "sse", Shard: 0, Shards: 1, Planned: 1})
+	postJSON(t, ts.URL+"/fleet/results", sweep.ResultBatch{Campaign: "sse", Shard: 0, Results: syntheticResults(1)})
+
+	want := map[string]bool{"heartbeat": false, "merge": false}
+	deadline := time.After(5 * time.Second)
+	for !want["heartbeat"] || !want["merge"] {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed early; got %v", want)
+			}
+			for kind := range want {
+				if strings.Contains(ev, "event: "+kind) {
+					want[kind] = true
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE events; got %v", want)
+		}
+	}
+}

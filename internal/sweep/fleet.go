@@ -1,0 +1,371 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coyote-te/coyote/internal/obs"
+)
+
+// The fleet progress protocol (DESIGN.md §11). A sharded campaign is a set
+// of `coyote-sweep -shard i/n` workers plus one controller (coyote-serve).
+// Each worker POSTs two kinds of JSON messages:
+//
+//   - Heartbeat → POST /fleet/heartbeat: shard identity, unit counters
+//     (planned/done/cached/failed), the unit currently executing, and a
+//     few registry snapshot deltas — sent every interval and once more,
+//     with Final set, when the shard exits.
+//   - ResultBatch → POST /fleet/results: completed unit Results, in
+//     campaign order, as they stream off the shard's runner.
+//
+// The controller folds batches into an Aggregator — MergeResults applied
+// incrementally — so the merged campaign artifact exists the moment the
+// last unit lands, byte-identical to a merge-at-end of the shard files
+// (fleet_test.go proves the invariant). Delivery is strictly advisory:
+// failure to reach the controller never fails the sweep (undelivered
+// result batches are retried on later heartbeat ticks), and nothing the
+// controller returns feeds back into unit execution, so results stay
+// bit-identical with the fleet plane on or off.
+
+// Heartbeat is one worker progress report.
+type Heartbeat struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	Shards   int    `json:"shards"`
+	Planned  int    `json:"planned"`
+	Done     int    `json:"done"`
+	Cached   int    `json:"cached"`
+	Failed   int    `json:"failed"`
+	// Current is the unit most recently started and not yet finished
+	// (empty between units and after the run).
+	Current string `json:"current,omitempty"`
+	// UnitP50 estimates the shard's median unit wall time (seconds) from
+	// its local coyote_sweep_unit_seconds histogram — the controller's
+	// fallback ETA basis before a rate is observable.
+	UnitP50 float64 `json:"unit_p50_seconds,omitempty"`
+	// Elapsed is seconds since the shard's run started.
+	Elapsed float64 `json:"elapsed_seconds"`
+	// Final marks the shard's last heartbeat (run finished or aborted).
+	Final bool `json:"final,omitempty"`
+	// Counters carries registry snapshot deltas worth surfacing fleet-wide
+	// (LP solves, simplex iterations, ...): family name → total since the
+	// shard process started.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// ResultBatch is a set of completed unit results from one shard.
+type ResultBatch struct {
+	Campaign string   `json:"campaign"`
+	Shard    int      `json:"shard"`
+	Results  []Result `json:"results"`
+}
+
+// Aggregator is MergeResults applied incrementally: Add folds in completed
+// units as they stream off the shards, maintaining the canonical campaign
+// order (sorted by unit ID) and rejecting duplicates, so at any instant
+// Results() equals MergeResults over everything added so far — and after
+// the last unit, byte-for-byte the merge-at-end artifact.
+type Aggregator struct {
+	mu      sync.Mutex
+	results []Result
+	seen    map[string]bool
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{seen: make(map[string]bool)}
+}
+
+// Add folds results in. A duplicate unit, an empty unit ID, or a missing
+// table rejects the whole call without mutating the aggregate (batches are
+// atomic: re-POSTing a failed batch cannot half-apply).
+func (a *Aggregator) Add(results ...Result) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range results {
+		if r.Unit == "" || r.Table == nil {
+			return fmt.Errorf("sweep: aggregate: result missing unit or table")
+		}
+		if a.seen[r.Unit] {
+			return fmt.Errorf("sweep: aggregate: unit %q already merged", r.Unit)
+		}
+	}
+	for _, r := range results {
+		a.seen[r.Unit] = true
+		i := sort.Search(len(a.results), func(i int) bool { return a.results[i].Unit >= r.Unit })
+		a.results = append(a.results, Result{})
+		copy(a.results[i+1:], a.results[i:])
+		a.results[i] = r
+	}
+	return nil
+}
+
+// Len returns the number of units merged so far.
+func (a *Aggregator) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.results)
+}
+
+// Results returns a copy of the merged results in canonical campaign
+// order.
+func (a *Aggregator) Results() []Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Result(nil), a.results...)
+}
+
+// WriteJSONL writes the current aggregate as the canonical JSONL stream —
+// the same bytes WriteJSONL(MergeResults(shard files...)) would produce.
+func (a *Aggregator) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, a.Results())
+}
+
+// counterFamilies are the registry families a Reporter samples into
+// Heartbeat.Counters — the fleet-wide work indicators.
+var counterFamilies = []string{
+	"coyote_lp_solves_total",
+	"coyote_lp_iterations_total",
+	"coyote_sweep_units_total",
+}
+
+// Reporter is the worker-side fleet client: it hooks a Run's Options, POSTs
+// heartbeats on a ticker, and forwards each completed Result to the
+// controller as it streams. All delivery is advisory — a dead controller
+// costs log lines, never the campaign. Results the controller could not be
+// reached for are queued and retried on later ticks (and once more at
+// Close), so a controller that comes up mid-campaign still converges on
+// the complete merge; only a controller that stays down loses them.
+type Reporter struct {
+	controller string // base URL, e.g. http://host:8080
+	campaign   string
+	shard      int
+	shards     int
+	interval   time.Duration
+	client     *http.Client
+	log        *obs.Logger
+	start      time.Time
+
+	mu      sync.Mutex
+	planned int
+	done    int
+	cached  int
+	failed  int
+	current string
+	lastErr error
+	pending []Result // results not yet accepted by the controller
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewReporter builds a reporter for one shard of a campaign against the
+// controller base URL ("http://host:port"). Call Hook to attach it to the
+// run's Options, Start to begin heartbeating, and Close when the run ends.
+func NewReporter(controller, campaign string, shard, shards int, interval time.Duration) *Reporter {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Reporter{
+		controller: controller,
+		campaign:   campaign,
+		shard:      shard,
+		shards:     shards,
+		interval:   interval,
+		client:     &http.Client{Timeout: 10 * time.Second},
+		log:        obs.Scope("fleet"),
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+	}
+}
+
+// Hook chains the reporter into opts: Starting/Progress/Result wrap any
+// callbacks already present. It also records the shard's planned unit
+// count for heartbeats.
+func (rp *Reporter) Hook(opts *Options, planned int) {
+	rp.mu.Lock()
+	rp.planned = planned
+	rp.mu.Unlock()
+
+	prevStarting := opts.Starting
+	opts.Starting = func(unit string) {
+		rp.mu.Lock()
+		rp.current = unit
+		rp.mu.Unlock()
+		if prevStarting != nil {
+			prevStarting(unit)
+		}
+	}
+	prevProgress := opts.Progress
+	opts.Progress = func(us UnitStatus) {
+		rp.mu.Lock()
+		rp.done++
+		if us.Cached {
+			rp.cached++
+		}
+		if rp.current == us.Unit {
+			rp.current = ""
+		}
+		rp.mu.Unlock()
+		if prevProgress != nil {
+			prevProgress(us)
+		}
+	}
+	prevResult := opts.Result
+	opts.Result = func(r Result) {
+		rp.flushResults(r)
+		if prevResult != nil {
+			prevResult(r)
+		}
+	}
+}
+
+// flushResults posts any queued results plus fresh ones as one batch. On a
+// transport error or 5xx the batch is re-queued for the next tick; a 4xx
+// means the controller rejected the batch (e.g. already merged) and
+// retrying cannot help, so it is dropped.
+func (rp *Reporter) flushResults(fresh ...Result) {
+	rp.mu.Lock()
+	batch := append(rp.pending, fresh...)
+	rp.pending = nil
+	rp.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	status, err := rp.post("/fleet/results", ResultBatch{
+		Campaign: rp.campaign, Shard: rp.shard, Results: batch,
+	})
+	if err != nil && (status == 0 || status >= 500) {
+		rp.mu.Lock()
+		rp.pending = append(batch, rp.pending...)
+		rp.mu.Unlock()
+	}
+}
+
+// PlannedUnits computes how many units of the campaign fall on one shard
+// under the i % shards == shard protocol.
+func PlannedUnits(c Campaign, shard, shards int) int {
+	if shards <= 1 {
+		return len(c.Units)
+	}
+	n := 0
+	for i := range c.Units {
+		if i%shards == shard {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the heartbeat ticker.
+func (rp *Reporter) Start() {
+	rp.wg.Add(1)
+	go func() {
+		defer rp.wg.Done()
+		t := time.NewTicker(rp.interval)
+		defer t.Stop()
+		rp.beat(false)
+		for {
+			select {
+			case <-t.C:
+				rp.flushResults()
+				rp.beat(false)
+			case <-rp.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the ticker, makes a last delivery attempt for any queued
+// results, and sends the final heartbeat. ok reports whether the run
+// succeeded (a failed run's last heartbeat keeps Failed > 0). It returns
+// the last delivery error, if any — advisory, for the exit log.
+func (rp *Reporter) Close(ok bool) error {
+	close(rp.stop)
+	rp.wg.Wait()
+	if !ok {
+		rp.mu.Lock()
+		rp.failed++
+		rp.mu.Unlock()
+	}
+	rp.flushResults()
+	rp.beat(true)
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.lastErr
+}
+
+func (rp *Reporter) beat(final bool) {
+	rp.mu.Lock()
+	hb := Heartbeat{
+		Campaign: rp.campaign,
+		Shard:    rp.shard,
+		Shards:   rp.shards,
+		Planned:  rp.planned,
+		Done:     rp.done,
+		Cached:   rp.cached,
+		Failed:   rp.failed,
+		Current:  rp.current,
+		Elapsed:  time.Since(rp.start).Seconds(),
+		Final:    final,
+	}
+	rp.mu.Unlock()
+	snap := obs.Default.Snapshot()
+	if p50, ok := snap.Quantile("coyote_sweep_unit_seconds", 0.5); ok {
+		hb.UnitP50 = p50
+	}
+	for _, fam := range counterFamilies {
+		if v, ok := snap.Total(fam); ok && v > 0 {
+			if hb.Counters == nil {
+				hb.Counters = make(map[string]float64, len(counterFamilies))
+			}
+			hb.Counters[fam] = v
+		}
+	}
+	rp.post("/fleet/heartbeat", hb)
+}
+
+// post delivers one JSON message. Errors are remembered and logged, never
+// surfaced to the sweep path; the returned status (0 on transport
+// failure) lets flushResults decide whether a retry can help.
+func (rp *Reporter) post(path string, msg any) (status int, err error) {
+	body, err := json.Marshal(msg)
+	if err == nil {
+		var resp *http.Response
+		req, rerr := http.NewRequestWithContext(context.Background(), "POST",
+			rp.controller+path, bytes.NewReader(body))
+		if rerr != nil {
+			err = rerr
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+			resp, err = rp.client.Do(req)
+		}
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			if resp.StatusCode >= 300 {
+				err = fmt.Errorf("POST %s: status %s", path, resp.Status)
+			}
+		}
+	}
+	if err != nil {
+		rp.mu.Lock()
+		first := rp.lastErr == nil
+		rp.lastErr = err
+		rp.mu.Unlock()
+		if first {
+			rp.log.Warn("controller delivery failing (advisory; sweep continues)",
+				"controller", rp.controller, "err", err)
+		}
+	}
+	return status, err
+}

@@ -1,0 +1,307 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/exp"
+	"github.com/coyote-te/coyote/internal/obs"
+)
+
+// TestAggregatorIncrementalEqualsMergeAtEnd is the incremental-merge
+// invariant (DESIGN.md §11): folding a 2-shard run's results into an
+// Aggregator one at a time, in stream order and interleaved across shards,
+// must produce the byte-identical JSONL that MergeResults over the
+// complete shard outputs produces at the end.
+func TestAggregatorIncrementalEqualsMergeAtEnd(t *testing.T) {
+	c := tinyCampaign(t)
+
+	// Capture each shard's results in stream order via the Result hook.
+	shardStreams := make([][]Result, 2)
+	for s := 0; s < 2; s++ {
+		_, err := Run(c, Options{
+			Shard: s, Shards: 2, Workers: 2,
+			Result: func(r Result) { shardStreams[s] = append(shardStreams[s], r) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Merge-at-end artifact.
+	merged, err := MergeResults(shardStreams...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var atEnd bytes.Buffer
+	if err := WriteJSONL(&atEnd, merged); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental: interleave the two streams in several deterministic
+	// patterns (alternating, shard-0-heavy, random but seeded), asserting
+	// the aggregate is byte-identical every time.
+	interleavings := [][]int{}
+	alt := make([]int, 0, len(c.Units))
+	for i := 0; i < len(c.Units); i++ {
+		alt = append(alt, i%2)
+	}
+	interleavings = append(interleavings, alt)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3; trial++ {
+		order := make([]int, 0, len(c.Units))
+		for i := 0; i < len(c.Units); i++ {
+			order = append(order, rng.Intn(2))
+		}
+		interleavings = append(interleavings, order)
+	}
+	for trial, order := range interleavings {
+		agg := NewAggregator()
+		next := []int{0, 0}
+		for _, s := range order {
+			if next[s] >= len(shardStreams[s]) {
+				s = 1 - s // that stream is drained; take from the other
+			}
+			if next[s] >= len(shardStreams[s]) {
+				continue
+			}
+			if err := agg.Add(shardStreams[s][next[s]]); err != nil {
+				t.Fatalf("trial %d: Add: %v", trial, err)
+			}
+			next[s]++
+		}
+		// Drain leftovers (interleaving pattern may not cover everything).
+		for s := 0; s < 2; s++ {
+			for ; next[s] < len(shardStreams[s]); next[s]++ {
+				if err := agg.Add(shardStreams[s][next[s]]); err != nil {
+					t.Fatalf("trial %d: drain Add: %v", trial, err)
+				}
+			}
+		}
+		if agg.Len() != len(c.Units) {
+			t.Fatalf("trial %d: aggregated %d units, want %d", trial, agg.Len(), len(c.Units))
+		}
+		var inc bytes.Buffer
+		if err := agg.WriteJSONL(&inc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(inc.Bytes(), atEnd.Bytes()) {
+			t.Errorf("trial %d: incremental merge differs from merge-at-end", trial)
+		}
+	}
+}
+
+func TestAggregatorRejectsBadInput(t *testing.T) {
+	tbl := &exp.Table{Title: "t", Columns: []string{"c"}, Rows: [][]string{{"1"}}}
+	agg := NewAggregator()
+	if err := agg.Add(Result{Unit: "u1", Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(Result{Unit: "u1", Table: tbl}); err == nil {
+		t.Error("duplicate unit accepted")
+	}
+	if err := agg.Add(Result{Unit: "", Table: tbl}); err == nil {
+		t.Error("empty unit accepted")
+	}
+	if err := agg.Add(Result{Unit: "u2"}); err == nil {
+		t.Error("missing table accepted")
+	}
+	// Batch atomicity: a batch with one bad result must not half-apply.
+	if err := agg.Add(Result{Unit: "u3", Table: tbl}, Result{Unit: "u1", Table: tbl}); err == nil {
+		t.Error("batch with duplicate accepted")
+	}
+	if agg.Len() != 1 {
+		t.Errorf("failed batch mutated the aggregate: len=%d, want 1", agg.Len())
+	}
+}
+
+// TestFleetHooksPreserveParity is the acceptance criterion that results
+// stay bit-identical with the event log and heartbeat reporter enabled at
+// every worker count: a full fleet-instrumented run (verbose logging, a
+// Reporter posting to a live fake controller) must stream the same bytes a
+// bare serial run does.
+func TestFleetHooksPreserveParity(t *testing.T) {
+	c := tinyCampaign(t)
+
+	var baseline bytes.Buffer
+	if _, err := Run(c, Options{Workers: 1, Stream: &baseline}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake controller accepting heartbeats and result batches.
+	var mu sync.Mutex
+	var beats []Heartbeat
+	agg := NewAggregator()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/fleet/heartbeat":
+			var hb Heartbeat
+			if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			mu.Lock()
+			beats = append(beats, hb)
+			mu.Unlock()
+		case "/fleet/results":
+			var batch ResultBatch
+			if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+				http.Error(w, err.Error(), 400)
+				return
+			}
+			if err := agg.Add(batch.Results...); err != nil {
+				http.Error(w, err.Error(), 409)
+				return
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	// Verbose logging into a buffer for the whole run (exercises the
+	// sweep-scope debug path without touching stderr).
+	var logBuf bytes.Buffer
+	obs.SetLogOutput(&logBuf)
+	obs.SetLogLevel(obs.LevelDebug)
+	defer func() {
+		obs.SetLogOutput(nil)
+		obs.SetLogLevel(obs.LevelInfo)
+	}()
+
+	for _, workers := range []int{1, 2, 4} {
+		rp := NewReporter(srv.URL, c.Name, 0, 1, 0)
+		opts := Options{Workers: workers}
+		var stream bytes.Buffer
+		opts.Stream = &stream
+		rp.Hook(&opts, PlannedUnits(c, 0, 1))
+		rp.Start()
+		_, err := Run(c, opts)
+		if cerr := rp.Close(err == nil); cerr != nil {
+			t.Fatalf("workers=%d: controller delivery failed: %v", workers, cerr)
+		}
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(stream.Bytes(), baseline.Bytes()) {
+			t.Errorf("workers=%d: instrumented stream differs from bare serial baseline", workers)
+		}
+		// Every run re-posts the full campaign; clear between runs so the
+		// aggregator's duplicate rejection doesn't fire.
+		var aggBytes bytes.Buffer
+		if err := agg.WriteJSONL(&aggBytes); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aggBytes.Bytes(), baseline.Bytes()) {
+			t.Errorf("workers=%d: controller aggregate differs from baseline", workers)
+		}
+		agg = NewAggregator()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) < 3 { // at least one initial + one final per run
+		t.Errorf("want heartbeats from every run, got %d", len(beats))
+	}
+	final := 0
+	for _, hb := range beats {
+		if hb.Final {
+			final++
+			if hb.Done != len(c.Units) || hb.Failed != 0 {
+				t.Errorf("final heartbeat wrong: %+v (want done=%d)", hb, len(c.Units))
+			}
+		}
+	}
+	if final != 3 {
+		t.Errorf("want 3 final heartbeats, got %d", final)
+	}
+}
+
+// TestReporterRetriesUndeliveredResults pins the late-controller story: a
+// controller that refuses the first result posts (e.g. still computing
+// its initial configuration when the shards launch) must still converge
+// on the complete merge, because the reporter queues undelivered batches
+// and retries them — at the latest from Close's final flush.
+func TestReporterRetriesUndeliveredResults(t *testing.T) {
+	c := tinyCampaign(t)
+
+	var baseline bytes.Buffer
+	if _, err := Run(c, Options{Workers: 1, Stream: &baseline}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	refusals := 2
+	agg := NewAggregator()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/fleet/results" {
+			return // swallow heartbeats
+		}
+		mu.Lock()
+		refuse := refusals > 0
+		if refuse {
+			refusals--
+		}
+		mu.Unlock()
+		if refuse {
+			http.Error(w, "still starting up", http.StatusServiceUnavailable)
+			return
+		}
+		var batch ResultBatch
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		if err := agg.Add(batch.Results...); err != nil {
+			http.Error(w, err.Error(), 409)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	rp := NewReporter(srv.URL, c.Name, 0, 1, 0)
+	opts := Options{Workers: 2}
+	rp.Hook(&opts, PlannedUnits(c, 0, 1))
+	rp.Start()
+	_, err := Run(c, opts)
+	rp.Close(err == nil) // delivery error expected from the refused posts
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var aggBytes bytes.Buffer
+	if err := agg.WriteJSONL(&aggBytes); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != len(c.Units) {
+		t.Fatalf("controller merged %d/%d units despite retries", agg.Len(), len(c.Units))
+	}
+	if !bytes.Equal(aggBytes.Bytes(), baseline.Bytes()) {
+		t.Error("controller aggregate differs from baseline after retried delivery")
+	}
+}
+
+// TestReporterToleratesDeadController pins the advisory contract: a
+// reporter pointed at nothing must never fail the sweep.
+func TestReporterToleratesDeadController(t *testing.T) {
+	c := tinyCampaign(t)
+	rp := NewReporter("http://127.0.0.1:1", c.Name, 0, 1, 0)
+	opts := Options{Workers: 2}
+	rp.Hook(&opts, PlannedUnits(c, 0, 1))
+	rp.Start()
+	rep, err := Run(c, opts)
+	if err != nil {
+		t.Fatalf("sweep failed because the controller is dead: %v", err)
+	}
+	if len(rep.Results) != len(c.Units) {
+		t.Fatalf("short run: %d units", len(rep.Results))
+	}
+	if cerr := rp.Close(true); cerr == nil {
+		t.Error("Close should report the delivery error")
+	}
+}

@@ -26,7 +26,15 @@ var (
 		"Units this shard will execute in the current campaign.", "shard")
 	mUnitsDone = obs.Default.NewGaugeVec("coyote_sweep_units_done",
 		"Units this shard has completed in the current campaign.", "shard")
+	mUnitSeconds = obs.Default.NewHistogramVec("coyote_sweep_unit_seconds",
+		"Wall time per completed sweep unit in seconds (cache hits included).",
+		obs.ExpBuckets(0.001, 4, 10), // 1ms .. ~4.7h
+		"shard")
 )
+
+// sweepLog carries the sweep unit lifecycle: campaign start/end at info,
+// per-unit completions at debug, failures at error.
+var sweepLog = obs.Scope("sweep")
 
 // Options configures one Run.
 type Options struct {
@@ -55,6 +63,17 @@ type Options struct {
 	// Progress, when non-nil, is called serially after each unit
 	// completes, in completion order.
 	Progress func(UnitStatus)
+	// Starting, when non-nil, is called as each unit begins executing, in
+	// scheduling order (concurrent-safe on the caller's side is not
+	// required: calls are serialized). Fleet reporters use it to label the
+	// shard's "current unit" in heartbeats.
+	Starting func(unit string)
+	// Result, when non-nil, receives each unit's Result in strict campaign
+	// order, immediately after (and under the same serialization as) the
+	// Stream write — the hook fleet reporters use to forward completed
+	// units to a controller as they finish. Like Stream, it observes
+	// exactly the bytes-determining Result; it must not mutate the table.
+	Result func(Result)
 	// Ctx, when it carries an obs.Tracer, records one sweep.unit span per
 	// unit with cache-probe/compute/cache-put/verify children (and the
 	// full adversarial-loop span tree beneath compute). Tracing never
@@ -153,10 +172,20 @@ func Run(c Campaign, opts Options) (*Report, error) {
 
 	results := make([]Result, len(mine))
 	statuses := make([]UnitStatus, len(mine))
-	st := &streamer{w: opts.Stream, progress: opts.Progress, results: results, statuses: statuses, done: make([]bool, len(mine)), shard: shardLabel}
+	st := &streamer{w: opts.Stream, progress: opts.Progress, result: opts.Result, starting: opts.Starting, results: results, statuses: statuses, done: make([]bool, len(mine)), shard: shardLabel}
+
+	sweepLog.Info("campaign start", "campaign", c.Name, "shard", shardLabel,
+		"units", len(mine), "workers", opts.Workers)
 
 	err := par.ForErr(opts.Workers, len(mine), func(i int) error {
+		if err := runCtx.Err(); err != nil {
+			// Canceled (signal or controller abort): stop scheduling new
+			// units; finished units are already cached and streamed, so the
+			// campaign resumes from here.
+			return fmt.Errorf("sweep: unit %s not started: %w", c.Units[mine[i]].ID, err)
+		}
 		u := c.Units[mine[i]]
+		st.begin(u.ID)
 		unitCtx, unitSpan := obs.StartSpan(runCtx, "sweep.unit")
 		unitSpan.Attr("unit", u.ID)
 		defer unitSpan.End()
@@ -228,6 +257,8 @@ func Run(c Campaign, opts Options) (*Report, error) {
 		})
 	})
 	if err != nil {
+		sweepLog.Error("campaign failed", "campaign", c.Name, "shard", shardLabel,
+			"elapsed", time.Since(start), "err", err)
 		return nil, err
 	}
 
@@ -244,6 +275,9 @@ func Run(c Campaign, opts Options) (*Report, error) {
 			rep.Misses++
 		}
 	}
+	sweepLog.Info("campaign done", "campaign", c.Name, "shard", shardLabel,
+		"units", len(rep.Results), "hits", rep.Hits, "misses", rep.Misses,
+		"elapsed", rep.Elapsed)
 	return rep, nil
 }
 
@@ -274,6 +308,8 @@ func verifyHit(u Unit, cfg exp.Config, entry *Entry) error {
 type streamer struct {
 	w        io.Writer
 	progress func(UnitStatus)
+	result   func(Result)
+	starting func(unit string)
 	shard    string // "shard/shards" metric label of this run
 
 	mu       sync.Mutex
@@ -281,6 +317,15 @@ type streamer struct {
 	statuses []UnitStatus
 	done     []bool
 	next     int // first index not yet flushed
+}
+
+func (s *streamer) begin(unit string) {
+	if s.starting == nil {
+		return
+	}
+	s.mu.Lock()
+	s.starting(unit)
+	s.mu.Unlock()
 }
 
 func (s *streamer) complete(i int, r Result, us UnitStatus) error {
@@ -295,6 +340,9 @@ func (s *streamer) complete(i int, r Result, us UnitStatus) error {
 		mUnits.With("computed").Inc()
 	}
 	mUnitsDone.With(s.shard).Add(1)
+	mUnitSeconds.With(s.shard).Observe(us.Elapsed.Seconds())
+	sweepLog.Debug("unit done", "unit", us.Unit, "shard", s.shard,
+		"cached", us.Cached, "elapsed", us.Elapsed)
 	if s.progress != nil {
 		s.progress(us)
 	}
@@ -307,6 +355,9 @@ func (s *streamer) complete(i int, r Result, us UnitStatus) error {
 			if _, err := s.w.Write(line); err != nil {
 				return err
 			}
+		}
+		if s.result != nil {
+			s.result(s.results[s.next])
 		}
 		s.next++
 	}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// Diff is one benchmark's old-vs-new comparison. Status is "ok",
+// "REGRESSION", "improved", "new" (only in the new report), or "gone"
+// (only in the old one).
+type Diff struct {
+	Benchmark string
+	Workers   int
+	OldNs     float64
+	NewNs     float64
+	Delta     float64 // (new-old)/old; 0 for new/gone rows
+	Status    string
+}
+
+// seriesKey identifies a measurement across reports: same benchmark at
+// the same worker count.
+type seriesKey struct {
+	bench   string
+	workers int
+}
+
+// compareReports diffs two reports benchmark-by-benchmark. threshold is
+// the relative ns/op growth past which a slowdown counts as a
+// regression (0.5 = 50% slower); improvements past the same threshold
+// are labeled "improved". Rows come back sorted by benchmark name then
+// worker count so output is stable.
+func compareReports(old, cur Report, threshold float64) []Diff {
+	oldBy := make(map[seriesKey]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[seriesKey{r.Benchmark, r.Workers}] = r
+	}
+	curBy := make(map[seriesKey]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[seriesKey{r.Benchmark, r.Workers}] = r
+	}
+
+	var diffs []Diff
+	for k, nr := range curBy {
+		or, ok := oldBy[k]
+		if !ok {
+			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, NewNs: nr.NsPerOp, Status: "new"})
+			continue
+		}
+		d := Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		if or.NsPerOp > 0 {
+			d.Delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		}
+		switch {
+		case d.Delta > threshold:
+			d.Status = "REGRESSION"
+		case d.Delta < -threshold:
+			d.Status = "improved"
+		default:
+			d.Status = "ok"
+		}
+		diffs = append(diffs, d)
+	}
+	for k, or := range oldBy {
+		if _, ok := curBy[k]; !ok {
+			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, Status: "gone"})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool {
+		if diffs[i].Benchmark != diffs[j].Benchmark {
+			return diffs[i].Benchmark < diffs[j].Benchmark
+		}
+		return diffs[i].Workers < diffs[j].Workers
+	})
+	return diffs
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// writeCompare renders the diff table and returns the regression count.
+func writeCompare(w io.Writer, old, cur Report, diffs []Diff) int {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tworkers\told ns/op\tnew ns/op\tdelta\tstatus")
+	regressions := 0
+	for _, d := range diffs {
+		if d.Status == "REGRESSION" {
+			regressions++
+		}
+		oldNs, newNs, delta := fmtNs(d.OldNs), fmtNs(d.NewNs), "-"
+		if d.Status != "new" && d.Status != "gone" {
+			delta = fmt.Sprintf("%+.1f%%", 100*d.Delta)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", d.Benchmark, d.Workers, oldNs, newNs, delta, d.Status)
+	}
+	tw.Flush()
+	if old.NumCPU != cur.NumCPU {
+		fmt.Fprintf(w, "note: reports measured on different hosts (old num_cpu=%d, new num_cpu=%d); deltas are not like-for-like\n",
+			old.NumCPU, cur.NumCPU)
+	}
+	return regressions
+}
+
+func fmtNs(ns float64) string {
+	if ns == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", ns)
+}
+
+func compareMain(argv []string) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.5, "relative ns/op growth that counts as a regression (0.5 = 50% slower)")
+	failOnRegression := fs.Bool("fail", false, "exit nonzero when any benchmark regressed (default advisory)")
+	fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("compare wants exactly two report files: OLD.json NEW.json"))
+	}
+	old, err := readReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readReport(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	diffs := compareReports(old, cur, *threshold)
+	regressions := writeCompare(os.Stdout, old, cur, diffs)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.0f%%\n", regressions, 100**threshold)
+		if *failOnRegression {
+			os.Exit(1)
+		}
+	}
+}
+
+// trajectoryMain prints one ns/op table across many reports in argument
+// order (oldest first), one column per file.
+func trajectoryMain(argv []string) {
+	fs := flag.NewFlagSet("benchjson trajectory", flag.ExitOnError)
+	fs.Parse(argv)
+	if fs.NArg() < 1 {
+		fatal(fmt.Errorf("trajectory wants one or more report files, oldest first"))
+	}
+	reps := make([]Report, fs.NArg())
+	for i, path := range fs.Args() {
+		var err error
+		if reps[i], err = readReport(path); err != nil {
+			fatal(err)
+		}
+	}
+	writeTrajectory(os.Stdout, fs.Args(), reps)
+}
+
+func writeTrajectory(w io.Writer, names []string, reps []Report) {
+	// Collect the union of series, keeping first-seen order stable via sort.
+	set := make(map[seriesKey]bool)
+	for _, rep := range reps {
+		for _, r := range rep.Results {
+			set[seriesKey{r.Benchmark, r.Workers}] = true
+		}
+	}
+	keys := make([]seriesKey, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].workers < keys[j].workers
+	})
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark\tworkers")
+	for _, n := range names {
+		fmt.Fprintf(tw, "\t%s", n)
+	}
+	fmt.Fprintln(tw)
+	for _, k := range keys {
+		fmt.Fprintf(tw, "%s\t%d", k.bench, k.workers)
+		for _, rep := range reps {
+			ns := 0.0
+			for _, r := range rep.Results {
+				if r.Benchmark == k.bench && r.Workers == k.workers {
+					ns = r.NsPerOp
+					break
+				}
+			}
+			fmt.Fprintf(tw, "\t%s", fmtNs(ns))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(numCPU int, results ...Result) Report {
+	return Report{NumCPU: numCPU, Results: results}
+}
+
+func TestCompareReportsStatuses(t *testing.T) {
+	old := rep(4,
+		Result{Benchmark: "BenchmarkCompute", Workers: 1, NsPerOp: 1000},
+		Result{Benchmark: "BenchmarkCompute", Workers: 4, NsPerOp: 400},
+		Result{Benchmark: "BenchmarkSlaveLP/warm", Workers: 1, NsPerOp: 50},
+		Result{Benchmark: "BenchmarkGone", Workers: 1, NsPerOp: 7},
+	)
+	cur := rep(4,
+		Result{Benchmark: "BenchmarkCompute", Workers: 1, NsPerOp: 1800},    // +80% > 50%
+		Result{Benchmark: "BenchmarkCompute", Workers: 4, NsPerOp: 440},     // +10% ok
+		Result{Benchmark: "BenchmarkSlaveLP/warm", Workers: 1, NsPerOp: 20}, // -60% improved
+		Result{Benchmark: "BenchmarkNew", Workers: 1, NsPerOp: 3},
+	)
+	diffs := compareReports(old, cur, 0.5)
+	want := map[string]string{
+		"BenchmarkCompute/1":      "REGRESSION",
+		"BenchmarkCompute/4":      "ok",
+		"BenchmarkSlaveLP/warm/1": "improved",
+		"BenchmarkNew/1":          "new",
+		"BenchmarkGone/1":         "gone",
+	}
+	if len(diffs) != len(want) {
+		t.Fatalf("got %d diffs, want %d: %+v", len(diffs), len(want), diffs)
+	}
+	for _, d := range diffs {
+		key := d.Benchmark + "/" + string(rune('0'+d.Workers))
+		if want[key] != d.Status {
+			t.Errorf("%s workers=%d: status %q, want %q", d.Benchmark, d.Workers, d.Status, want[key])
+		}
+	}
+}
+
+func TestCompareReportsSorted(t *testing.T) {
+	old := rep(1,
+		Result{Benchmark: "B", Workers: 4, NsPerOp: 1},
+		Result{Benchmark: "A", Workers: 1, NsPerOp: 1},
+	)
+	cur := rep(1,
+		Result{Benchmark: "B", Workers: 1, NsPerOp: 1},
+		Result{Benchmark: "B", Workers: 4, NsPerOp: 1},
+		Result{Benchmark: "A", Workers: 1, NsPerOp: 1},
+	)
+	diffs := compareReports(old, cur, 0.5)
+	for i := 1; i < len(diffs); i++ {
+		a, b := diffs[i-1], diffs[i]
+		if a.Benchmark > b.Benchmark || (a.Benchmark == b.Benchmark && a.Workers > b.Workers) {
+			t.Fatalf("diffs not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	old := rep(1, Result{Benchmark: "B", Workers: 1, NsPerOp: 100})
+	// Exactly at the threshold is NOT a regression (strictly past it is).
+	cur := rep(1, Result{Benchmark: "B", Workers: 1, NsPerOp: 150})
+	if d := compareReports(old, cur, 0.5)[0]; d.Status != "ok" {
+		t.Errorf("exactly +50%% at threshold 0.5: status %q, want ok", d.Status)
+	}
+	cur = rep(1, Result{Benchmark: "B", Workers: 1, NsPerOp: 151})
+	if d := compareReports(old, cur, 0.5)[0]; d.Status != "REGRESSION" {
+		t.Errorf("+51%% at threshold 0.5: status %q, want REGRESSION", d.Status)
+	}
+}
+
+func TestWriteCompareCPUNote(t *testing.T) {
+	old := rep(1, Result{Benchmark: "B", Workers: 1, NsPerOp: 100})
+	cur := rep(8, Result{Benchmark: "B", Workers: 1, NsPerOp: 100})
+	var sb strings.Builder
+	n := writeCompare(&sb, old, cur, compareReports(old, cur, 0.5))
+	if n != 0 {
+		t.Errorf("regressions = %d, want 0", n)
+	}
+	if !strings.Contains(sb.String(), "different hosts") {
+		t.Errorf("output missing num_cpu mismatch note:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	same := rep(1, Result{Benchmark: "B", Workers: 1, NsPerOp: 500})
+	n = writeCompare(&sb, old, same, compareReports(old, same, 0.5))
+	if n != 1 {
+		t.Errorf("regressions = %d, want 1", n)
+	}
+	if strings.Contains(sb.String(), "different hosts") {
+		t.Errorf("unexpected host note when num_cpu matches:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION row:\n%s", sb.String())
+	}
+}
+
+func TestWriteTrajectory(t *testing.T) {
+	r1 := rep(4, Result{Benchmark: "BenchmarkCompute", Workers: 1, NsPerOp: 1000})
+	r2 := rep(4,
+		Result{Benchmark: "BenchmarkCompute", Workers: 1, NsPerOp: 900},
+		Result{Benchmark: "BenchmarkNew", Workers: 1, NsPerOp: 5},
+	)
+	var sb strings.Builder
+	writeTrajectory(&sb, []string{"PR6.json", "PR7.json"}, []Report{r1, r2})
+	out := sb.String()
+	for _, want := range []string{"PR6.json", "PR7.json", "BenchmarkCompute", "1000", "900", "BenchmarkNew"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, out)
+		}
+	}
+	// BenchmarkNew is absent from the first report: its PR6 cell is "-".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BenchmarkNew") && !strings.Contains(line, "-") {
+			t.Errorf("BenchmarkNew row should mark the missing report with '-': %q", line)
+		}
+	}
+}

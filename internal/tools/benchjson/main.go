@@ -13,6 +13,18 @@
 // the host's runtime.NumCPU: on a 1-CPU runner a workers=4 measurement is
 // pure scheduling overhead, and the recorded CPU count is what makes such
 // numbers interpretable after the fact.
+//
+// Two subcommands consume the files the default mode produces:
+//
+//	benchjson compare [-threshold 0.5] [-fail] OLD.json NEW.json
+//	benchjson trajectory BENCH_PR6.json BENCH_PR7.json ...
+//
+// compare diffs two reports benchmark-by-benchmark and flags relative
+// ns/op regressions past -threshold (0.5 = 50% slower); it exits nonzero
+// on regression only with -fail, because CI treats perf as advisory —
+// shared runners are too noisy to gate merges on. trajectory prints a
+// ns/op table across many reports, oldest to newest, so the repo's perf
+// record reads as one table.
 package main
 
 import (
@@ -77,6 +89,20 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.
 var metricPair = regexp.MustCompile(`([0-9.eE+-]+) ([^\s]+)`)
 
 func main() {
+	// Subcommand dispatch: every convert-mode argument is a flag, so a
+	// bare first word can only be a subcommand.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "compare":
+			compareMain(os.Args[2:])
+		case "trajectory":
+			trajectoryMain(os.Args[2:])
+		default:
+			fatal(fmt.Errorf("unknown subcommand %q (want compare or trajectory)", os.Args[1]))
+		}
+		return
+	}
+
 	var out string
 	flag.StringVar(&out, "out", "", "write JSON here (default stdout)")
 	flag.StringVar(&out, "o", "", "shorthand for -out")

@@ -1,0 +1,172 @@
+// Command fleetcheck asserts that a coyote-serve fleet controller saw a
+// sharded sweep campaign through to the end. CI boots coyote-serve, runs
+// the golden campaign as N coyote-sweep shards pointed at it, then runs
+// fleetcheck, which polls GET /fleet until every expected shard has
+// posted its final heartbeat and verifies:
+//
+//   - all -shards shards reported, all final, none failed;
+//   - the campaign is complete (done == planned, ETA 0);
+//   - GET /fleet/results — the controller's *incrementally merged*
+//     result stream — is byte-identical to the -merged JSONL file the
+//     merge-at-end path produced (the DESIGN.md §11 invariant, checked
+//     against a live fleet rather than an in-process test);
+//   - optionally snapshots /dashboard and /fleet to files for CI
+//     artifact upload.
+//
+// Usage:
+//
+//	fleetcheck -url http://localhost:8080 -shards 2 \
+//	    -merged merged.jsonl -fleet-out fleet.json -dashboard-out dashboard.html
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// fleetReport mirrors the wire shape of GET /fleet (internal/serve).
+type fleetReport struct {
+	Campaign string        `json:"campaign"`
+	Shards   int           `json:"shards"`
+	Planned  int           `json:"planned"`
+	Done     int           `json:"done"`
+	Failed   int           `json:"failed"`
+	Merged   int           `json:"merged"`
+	ETA      float64       `json:"eta_seconds"`
+	Complete bool          `json:"complete"`
+	Status   []shardStatus `json:"shard_status"`
+}
+
+type shardStatus struct {
+	Shard  int  `json:"shard"`
+	Final  bool `json:"final"`
+	Failed int  `json:"failed"`
+}
+
+func main() {
+	var (
+		base         = flag.String("url", "http://localhost:8080", "fleet controller base URL")
+		shards       = flag.Int("shards", 2, "number of shards that must report final heartbeats")
+		merged       = flag.String("merged", "", "merge-at-end JSONL file that /fleet/results must match byte-for-byte")
+		fleetOut     = flag.String("fleet-out", "", "save the final /fleet JSON here (CI artifact)")
+		dashboardOut = flag.String("dashboard-out", "", "save /dashboard HTML here (CI artifact)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "total time to wait for the campaign to complete")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*timeout)
+
+	rep, raw, err := awaitComplete(client, *base+"/fleet", *shards, deadline)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleetcheck: campaign %q complete — %d/%d units done across %d shards, %d merged\n",
+		rep.Campaign, rep.Done, rep.Planned, rep.Shards, rep.Merged)
+
+	if *merged != "" {
+		want, err := os.ReadFile(*merged)
+		if err != nil {
+			fatal(err)
+		}
+		got, err := get(client, *base+"/fleet/results")
+		if err != nil {
+			fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			fatal(fmt.Errorf("incremental merge mismatch: /fleet/results (%d bytes) != %s (%d bytes)",
+				len(got), *merged, len(want)))
+		}
+		fmt.Printf("fleetcheck: /fleet/results byte-identical to %s (%d bytes)\n", *merged, len(want))
+	}
+
+	if *fleetOut != "" {
+		if err := os.WriteFile(*fleetOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *dashboardOut != "" {
+		html, err := get(client, *base+"/dashboard")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*dashboardOut, html, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// awaitComplete polls /fleet until the campaign is complete with every
+// shard final, or the deadline passes (reporting the last state seen).
+func awaitComplete(client *http.Client, url string, shards int, deadline time.Time) (fleetReport, []byte, error) {
+	var lastErr error
+	var rep fleetReport
+	for {
+		raw, err := get(client, url)
+		if err == nil {
+			err = json.Unmarshal(raw, &rep)
+		}
+		if err == nil {
+			if bad := check(rep, shards); bad == nil {
+				return rep, raw, nil
+			} else {
+				err = bad
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return rep, nil, fmt.Errorf("campaign did not complete in time: %w", lastErr)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func check(rep fleetReport, shards int) error {
+	finals := 0
+	for _, s := range rep.Status {
+		if s.Failed > 0 {
+			return fmt.Errorf("shard %d reported %d failed units", s.Shard, s.Failed)
+		}
+		if s.Final {
+			finals++
+		}
+	}
+	switch {
+	case rep.Campaign == "":
+		return fmt.Errorf("no campaign reported yet")
+	case rep.Shards != shards:
+		return fmt.Errorf("controller saw %d shards, want %d", rep.Shards, shards)
+	case finals != shards:
+		return fmt.Errorf("%d/%d shards final", finals, shards)
+	case !rep.Complete:
+		return fmt.Errorf("campaign not complete: %d/%d done", rep.Done, rep.Planned)
+	case rep.Merged != rep.Planned:
+		return fmt.Errorf("controller merged %d/%d results", rep.Merged, rep.Planned)
+	case rep.ETA != 0:
+		return fmt.Errorf("complete campaign reports ETA %v, want 0", rep.ETA)
+	}
+	return nil
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetcheck:", err)
+	os.Exit(1)
+}

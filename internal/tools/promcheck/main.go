@@ -1,10 +1,12 @@
 // Command promcheck scrapes a /metrics endpoint and validates it with the
 // strict parser from internal/obs: exposition-format violations (bad
 // escaping, duplicate series, histograms whose cumulative buckets decrease
-// or lack a +Inf bound) fail loudly. CI boots coyote-serve, points
-// promcheck at it, and requires the families every subsystem is expected
-// to export — a live end-to-end check that the observability plane stays
-// both present and well-formed.
+// or lack a +Inf bound) fail loudly, and every histogram family gets an
+// explicit _bucket/_sum/_count coherence pass. CI boots coyote-serve,
+// points promcheck at it, and requires the families every subsystem is
+// expected to export — LP solver, HTTP plane, sweep, fleet controller,
+// and event-log counters — a live end-to-end check that the
+// observability plane stays both present and well-formed.
 //
 // Usage:
 //
@@ -60,10 +62,20 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("invalid exposition from %s: %w", *url, err))
 	}
+	// ParseProm already validates histograms; re-run the coherence check
+	// explicitly so the report names it (cumulative buckets monotone,
+	// +Inf present, _count == +Inf bucket) and counts what it covered.
+	if err := obs.ValidateHistograms(families); err != nil {
+		fatal(fmt.Errorf("histogram coherence from %s: %w", *url, err))
+	}
 
+	histograms := 0
 	byName := make(map[string]obs.ParsedFamily, len(families))
 	for _, f := range families {
 		byName[f.Name] = f
+		if f.Type == "histogram" {
+			histograms++
+		}
 		if *verbose {
 			fmt.Printf("%-50s %-9s %d samples\n", f.Name, f.Type, len(f.Samples))
 		}
@@ -86,7 +98,7 @@ func main() {
 	if len(missing) > 0 {
 		fatal(fmt.Errorf("missing families: %s", strings.Join(missing, ", ")))
 	}
-	fmt.Printf("promcheck: %s OK — %d families valid\n", *url, len(families))
+	fmt.Printf("promcheck: %s OK — %d families valid, %d histograms coherent\n", *url, len(families), histograms)
 }
 
 // getUntil retries the GET until it succeeds or the deadline passes, so the
