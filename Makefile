@@ -80,23 +80,32 @@ fleet-smoke: build
 		-fleet-out fleet-report.json -dashboard-out fleet-dashboard.html
 
 # bench regenerates $(BENCH_OUT), the machine-readable perf trajectory
-# (BENCH_PR2..PR6.json are kept as the historical record):
-# BenchmarkCompute* (the headline end-to-end pipeline benchmarks) and the
-# online controller's warm-vs-cold recompute pair at 1 and 4 workers,
-# plus the sparse-LP core trio — BenchmarkExactOPT (sparse vs dense exact
-# OPTDAG on the largest corpus topology), BenchmarkSlaveLP (per-link
-# basis-chain warm start vs cold), and BenchmarkDualRestart (RHS-edit
-# re-solve via the dual simplex vs a cold rebuild, with pivots/op
-# metrics backing the <0.6× warm-iteration target) — parsed into JSON by
-# internal/tools/benchjson (which also records the host CPU count — the
-# key to reading per-worker numbers on small runners). CI runs this on
-# every push; commit the refreshed file when the numbers move materially.
-BENCH_OUT ?= BENCH_PR7.json
+# (BENCH_PR2..PR7.json are kept as the historical record):
+# BenchmarkCompute* (the headline end-to-end pipeline benchmarks, with
+# BenchmarkComputeEndToEnd swept at 1/2/4 workers for the
+# proportional-overhead guarantee), the online controller's warm-vs-cold
+# recompute pair, the PR-9 reaction-latency pair —
+# BenchmarkSessionFailRecover (warm Fail/Recover session updates) and
+# BenchmarkSPFRepair (incremental repair vs cold all-destination
+# Dijkstras) — plus the sparse-LP core trio: BenchmarkExactOPT,
+# BenchmarkSlaveLP, BenchmarkDualRestart (pivots/op metrics backing the
+# <0.6× warm-iteration target), and BenchmarkOptimizerStep (the gpopt
+# inner loop, whose allocs/op column must read 0). Everything runs with
+# -benchmem so bytes/op / allocs/op land in the JSON next to ns/op,
+# parsed by internal/tools/benchjson (which also records the host CPU
+# count — the key to reading per-worker numbers on small runners). CI
+# runs this on every push; commit the refreshed file when the numbers
+# move materially.
+BENCH_OUT ?= BENCH_PR9.json
 bench:
-	( $(GO) test -run '^$$' -bench 'BenchmarkCompute' -benchtime 2x -cpu 1,4 . && \
-	  $(GO) test -run '^$$' -bench 'Benchmark(Warm|Cold)Recompute' -benchtime 4x -cpu 1,4 . && \
-	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkDualRestart' -benchtime 20x . ) \
+	( $(GO) test -run '^$$' -bench '^BenchmarkCompute(NSF)?$$' -benchtime 2x -benchmem -cpu 1,4 . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkComputeEndToEnd$$' -benchtime 20x -benchmem -cpu 1,2,4 . && \
+	  $(GO) test -run '^$$' -bench 'Benchmark(Warm|Cold)Recompute' -benchtime 4x -benchmem -cpu 1,4 . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSessionFailRecover' -benchtime 10x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSPFRepair' -benchtime 200x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'Benchmark(ExactOPT|SlaveLP)' -benchtime 2x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDualRestart' -benchtime 20x -benchmem . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkOptimizerStep' -benchtime 100x -benchmem ./internal/gpopt ) \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson -o $(BENCH_OUT)
 
@@ -104,7 +113,7 @@ bench:
 # committed trajectory point, then prints the full PR-over-PR table.
 # Advisory by default (shared runners are noisy); pass
 # BENCH_COMPARE_FLAGS=-fail to gate on it.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCH_COMPARE_FLAGS ?=
 bench-compare:
 	$(MAKE) bench BENCH_OUT=bench-fresh.json

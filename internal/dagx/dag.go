@@ -82,17 +82,45 @@ func potentialLess(dist []float64, a, b graph.NodeID) bool {
 // ShortestPath builds the plain shortest-path DAG rooted at dst (Step I
 // only): this is the DAG traditional ECMP uses.
 func ShortestPath(g *graph.Graph, dst graph.NodeID) *DAG {
-	tree := spf.ToDestination(g, dst)
-	d := &DAG{Dst: dst, Member: tree.ShortestPathEdges(g), Dist: tree.Dist}
+	return ShortestPathFromTree(g, spf.ToDestination(g, dst))
+}
+
+// ShortestPathFromTree is ShortestPath over an already-computed distance
+// field — the entry point for callers that maintain distances
+// incrementally (spf.Incremental) or already hold a tree for dst. The
+// tree's Dist slice is retained (not copied) as the DAG's Dist.
+func ShortestPathFromTree(g *graph.Graph, tree *spf.Tree) *DAG {
+	d := &DAG{Dst: tree.Dst, Member: tree.ShortestPathEdges(g), Dist: tree.Dist}
 	d.Order = topoOrder(g, d)
 	return d
+}
+
+// Tree wraps the DAG's cached distance field as an spf.Tree (sharing
+// storage), or nil when the DAG carries no distances (FromEdges). Consumers
+// use it to answer shortest-path queries without re-running Dijkstra.
+func (d *DAG) Tree() *spf.Tree {
+	if d.Dist == nil {
+		return nil
+	}
+	return spf.FromDist(d.Dst, d.Dist)
 }
 
 // Augmented builds the COYOTE forwarding DAG rooted at dst: the
 // shortest-path DAG plus every remaining link oriented downhill with respect
 // to (dist, id). Edges incident to unreachable nodes are excluded.
 func Augmented(g *graph.Graph, dst graph.NodeID) *DAG {
-	tree := spf.ToDestination(g, dst)
+	return AugmentedFromTree(g, spf.ToDestination(g, dst))
+}
+
+// AugmentedFromTree is Augmented over an already-computed distance field
+// for tree.Dst — what the online controller uses to rebuild survivor-epoch
+// DAGs from incrementally repaired distances instead of cold Dijkstra. The
+// distances must be consistent with g's weights (bit-identical to what
+// spf.ToDestination(g, dst) would produce) for the membership tolerance
+// checks to behave identically; spf.Incremental guarantees exactly that.
+// The tree's Dist slice is retained (not copied) as the DAG's Dist.
+func AugmentedFromTree(g *graph.Graph, tree *spf.Tree) *DAG {
+	dst := tree.Dst
 	member := tree.ShortestPathEdges(g)
 	for _, e := range g.Edges() {
 		if member[e.ID] {

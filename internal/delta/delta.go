@@ -52,6 +52,7 @@ import (
 	"github.com/coyote-te/coyote/internal/oblivious"
 	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/spf"
 	"github.com/coyote-te/coyote/internal/wcmp"
 )
 
@@ -70,6 +71,9 @@ var (
 		"LSAs added, removed, or updated across lie-diff emissions.")
 	mDroppedEvents = obs.Default.NewCounter("coyote_session_dropped_events_total",
 		"Events dropped because a subscriber's channel was full.")
+	mSPFAffected = obs.Default.NewHistogram("coyote_spf_affected_nodes",
+		"Nodes touched per dynamic-SPF repair (one observation per destination tree per topology event).",
+		obs.ExpBuckets(1, 2, 12)) // 1 .. 2048 nodes
 )
 
 // sessionLog records every state transition as a structured event —
@@ -107,6 +111,11 @@ type Config struct {
 	// for failure scenarios can be precomputed"), so Fail swaps it in and
 	// merely refines.
 	PrecomputeFailover bool
+	// coldSPF disables the session's incremental shortest-path maintenance
+	// and rebuilds every epoch's DAGs with cold per-destination Dijkstras
+	// instead. Results are bit-identical either way (the parity tests pin
+	// this); the toggle exists for those tests and as a kill switch.
+	coldSPF bool
 	// Tracer, when non-nil, records one span tree per session transition
 	// (session.init/update/fail/recover/lies) with the nested adversarial
 	// loop, gpopt, and LP spans beneath it. Purely observational — results
@@ -199,6 +208,15 @@ type Session struct {
 	box      *demand.Box
 	failed   map[graph.EdgeID]bool // failed links, by base representative edge ID
 
+	// incs holds one dynamic SPF structure per destination over the base
+	// topology, kept in lockstep with the failed-link set. Fail/Recover
+	// repair only the affected vertices (near-O(affected) instead of n
+	// Dijkstras) and every epoch's augmented DAGs are rebuilt from the
+	// repaired distance fields — bit-identical to the cold construction,
+	// since spf.Incremental maintains the exact Dijkstra fixpoint. nil when
+	// Config.coldSPF is set.
+	incs []*spf.Incremental
+
 	// Current epoch (base or survivor topology).
 	cur       *graph.Graph
 	dags      []*dagx.DAG
@@ -265,7 +283,21 @@ func NewSession(g *graph.Graph, box *demand.Box, cfg Config) (*Session, error) {
 	ctx, span := obs.StartSpan(s.traceCtx(), "session.init")
 	defer span.End()
 	start := time.Now()
-	s.baseDags = dagx.BuildAll(g, dagx.Augmented)
+	if cfg.coldSPF {
+		s.baseDags = dagx.BuildAll(g, dagx.Augmented)
+	} else {
+		// One cold Dijkstra per destination seeds the dynamic SPF
+		// structures, and the base DAGs are derived from the same distance
+		// fields — the session never pays for a destination's shortest
+		// paths twice.
+		n := g.NumNodes()
+		s.incs = make([]*spf.Incremental, n)
+		s.baseDags = make([]*dagx.DAG, n)
+		for t := 0; t < n; t++ {
+			s.incs[t] = spf.NewIncremental(g, graph.NodeID(t))
+			s.baseDags[t] = dagx.AugmentedFromTree(g, s.incs[t].TreeCopy())
+		}
+	}
 	s.cur = g
 	s.dags = s.baseDags
 	s.ev = oblivious.NewEvaluator(g, s.dags, box, s.evalConfig())
@@ -547,7 +579,13 @@ func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error)
 
 	if len(s.failed) == 0 {
 		// Back to the intact topology: reuse the base DAGs and warm-start
-		// from the snapshot of the last base-epoch parameters.
+		// from the snapshot of the last base-epoch parameters. The dynamic
+		// SPF structures still repair (cheaply) so they track the topology.
+		if s.incs != nil {
+			for _, inc := range s.incs {
+				mSPFAffected.Observe(float64(inc.RecoverLink(link)))
+			}
+		}
 		s.cur = s.base
 		s.dags = s.baseDags
 		// Derive the evaluator from the last base-epoch one: the OPTDAG
@@ -574,27 +612,70 @@ func (s *Session) rebuildEpoch(kind EventKind, link graph.EdgeID) (Event, error)
 
 	survivor := s.base.WithoutLinks(s.failedList())
 	if !survivor.Connected() {
+		// Session state (including the dynamic SPF structures, untouched so
+		// far) is unchanged; the caller rolls back the failed-set entry.
 		return Event{}, fmt.Errorf("delta: failing %s would partition the network", detail)
 	}
-	dags := dagx.BuildAll(survivor, dagx.Augmented)
+	// Keep the dynamic SPF fields in lockstep with the failed set no
+	// matter where this epoch's DAGs come from — each event is an
+	// O(affected) repair, and later multi-failure epochs depend on the
+	// fields being current.
+	if s.incs != nil {
+		for _, inc := range s.incs {
+			var touched int
+			if kind == EventFail {
+				touched = inc.FailLink(link)
+			} else {
+				touched = inc.RecoverLink(link)
+			}
+			mSPFAffected.Observe(float64(touched))
+		}
+	}
 
 	// Failover swap: a precomputed single-link scenario provides the
-	// post-failure configuration to refine from. Its survivor graph is the
-	// deterministic WithoutLinks reconstruction, so edge IDs align.
-	var seed *gpopt.Optimizer
+	// post-failure configuration to refine from, together with the DAGs it
+	// was optimized over and the evaluator whose OPTDAG/max-flow caches
+	// were filled while precomputing it. Reusing all three makes the
+	// reaction warm end to end — no Dijkstra, no DAG rebuild, and no
+	// exact-LP re-normalization on the critical path. The scenario's
+	// survivor graph is the deterministic WithoutLinks reconstruction, so
+	// edge IDs align with this epoch's.
 	if kind == EventFail && len(s.failed) == 1 {
-		if sc, ok := s.plan[link]; ok && !sc.Disconnected && sc.Routing != nil {
-			seed = gpopt.NewFromRouting(survivor, dags, gpopt.Config{Iters: s.cfg.WarmOptIters}, sc.Routing)
+		if sc, ok := s.plan[link]; ok && !sc.Disconnected && sc.Routing != nil && sc.Ev != nil {
+			seed := gpopt.NewFromRouting(sc.Survivor, sc.DAGs, gpopt.Config{Iters: s.cfg.WarmOptIters}, sc.Routing)
+			s.cur = sc.Survivor
+			s.dags = sc.DAGs
+			s.ev = sc.Ev.WithBox(s.box)
+			s.opt = nil // fresh epoch: previous optimizer indexes the old edge IDs
+			s.reoptimize(ctx, true, seed)
+			return s.record(Event{
+				Kind: kind, Detail: detail, Warm: true,
+				Perf: s.perf, ECMPPerf: s.ecmpPerf,
+				OuterIters: s.lastOuter, Scenarios: len(s.critical),
+				Elapsed: time.Since(start),
+			}), nil
 		}
+	}
+
+	var dags []*dagx.DAG
+	if s.incs != nil {
+		// Rebuild the survivor DAGs from the repaired distance fields — no
+		// cold Dijkstra anywhere, and bit-identical to one (parity tests).
+		dags = make([]*dagx.DAG, len(s.incs))
+		for t, inc := range s.incs {
+			dags[t] = dagx.AugmentedFromTree(survivor, inc.TreeCopy())
+		}
+	} else {
+		dags = dagx.BuildAll(survivor, dagx.Augmented)
 	}
 
 	s.cur = survivor
 	s.dags = dags
 	s.ev = oblivious.NewEvaluator(survivor, dags, s.box, s.evalConfig())
 	s.opt = nil // fresh epoch: previous optimizer indexes the old edge IDs
-	s.reoptimize(ctx, seed != nil, seed)
+	s.reoptimize(ctx, false, nil)
 	return s.record(Event{
-		Kind: kind, Detail: detail, Warm: seed != nil,
+		Kind: kind, Detail: detail, Warm: false,
 		Perf: s.perf, ECMPPerf: s.ecmpPerf,
 		OuterIters: s.lastOuter, Scenarios: len(s.critical),
 		Elapsed: time.Since(start),

@@ -1,0 +1,134 @@
+package delta
+
+import (
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+// sessionTrace runs a fixed fail/recover/update mutation sequence and
+// returns the Perf/ECMPPerf observed after every transition plus the final
+// routing, so two configurations can be compared bit-for-bit.
+func sessionTrace(t *testing.T, cfg Config) ([]float64, [][]float64) {
+	t.Helper()
+	g, err := topo.Load("NSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := demand.Gravity(g, 1)
+	s, err := NewSession(g, demand.MarginBox(base, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perfs []float64
+	push := func() { perfs = append(perfs, s.Perf(), s.ECMPPerf()) }
+	push()
+
+	links := g.Links()
+	// Two overlapping failures, a demand drift mid-outage, then recovery
+	// back to the intact topology — exercising the survivor-epoch rebuild,
+	// the warm UpdateBounds path, and the recover-to-base path.
+	steps := []func() error{
+		func() error { _, err := s.Fail(links[1]); return err },
+		func() error { _, err := s.Fail(links[4]); return err },
+		func() error {
+			_, err := s.UpdateBounds(demand.MarginBox(base.Clone().Scale(1.2), 2.2))
+			return err
+		},
+		func() error { _, err := s.Recover(links[1]); return err },
+		func() error { _, err := s.Recover(links[4]); return err },
+		func() error { _, err := s.Fail(links[0]); return err },
+		func() error { _, err := s.Recover(links[0]); return err },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		push()
+	}
+	r := s.Routing()
+	phi := make([][]float64, len(r.Phi))
+	for t := range r.Phi {
+		phi[t] = append([]float64(nil), r.Phi[t]...)
+	}
+	return perfs, phi
+}
+
+// TestSessionIncrementalSPFParity pins the dynamic-SPF tentpole's safety
+// property end to end: a session driving its epoch rebuilds from
+// incrementally repaired distance fields must produce bit-identical results
+// — every Perf/ECMPPerf along a mutation sequence and the final routing —
+// to one rebuilding with cold per-destination Dijkstras, at one worker and
+// at four.
+func TestSessionIncrementalSPFParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-session parity sweep is slow")
+	}
+	cfg := Config{OptIters: 40, AdvIters: 2, Samples: 4, Seed: 11}
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		cold := cfg
+		cold.coldSPF = true
+
+		incPerfs, incPhi := sessionTrace(t, cfg)
+		coldPerfs, coldPhi := sessionTrace(t, cold)
+
+		if len(incPerfs) != len(coldPerfs) {
+			t.Fatalf("workers=%d: trace lengths differ: %d vs %d", workers, len(incPerfs), len(coldPerfs))
+		}
+		for i := range incPerfs {
+			if incPerfs[i] != coldPerfs[i] {
+				t.Fatalf("workers=%d: perf trace diverges at %d: incremental %v, cold %v",
+					workers, i, incPerfs[i], coldPerfs[i])
+			}
+		}
+		for dst := range incPhi {
+			for e := range incPhi[dst] {
+				if incPhi[dst][e] != coldPhi[dst][e] {
+					t.Fatalf("workers=%d: Phi[%d][%d] = %v incremental, %v cold",
+						workers, dst, e, incPhi[dst][e], coldPhi[dst][e])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionIncrementalStateTracksFailures checks the dynamic SPF
+// structures stay in lockstep with the failed-link set across rejected
+// mutations: a partitioning failure must leave them untouched.
+func TestSessionIncrementalStateTracksFailures(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	ab := g.AddLink(a, b, 10, 1)
+	g.AddLink(b, c, 10, 1)
+	bc2 := g.AddLink(b, c, 10, 3)
+	_ = bc2
+	base := demand.Gravity(g, 1)
+	s, err := NewSession(g, demand.MarginBox(base, 2), Config{OptIters: 20, AdvIters: 2, Samples: 2, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing a–b partitions the network; the session must reject it and
+	// keep the incremental fields equal to the intact topology's.
+	if _, err := s.Fail(ab); err == nil {
+		t.Fatal("partitioning failure was accepted")
+	}
+	for _, inc := range s.incs {
+		for _, e := range g.Edges() {
+			if !inc.Active(e.ID) {
+				t.Fatalf("edge %d inactive after rejected failure", e.ID)
+			}
+		}
+		before := append([]float64(nil), inc.Dist()...)
+		inc.RecomputeAll()
+		for u, d := range inc.Dist() {
+			if d != before[u] {
+				t.Fatalf("dist[%d] drifted after rejected failure: %v vs recomputed %v", u, before[u], d)
+			}
+		}
+	}
+}

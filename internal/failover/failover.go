@@ -156,9 +156,17 @@ type GroupScenario struct {
 	// surviving topology.
 	Perf     float64
 	ECMPPerf float64
+	// DAGs are the survivor's augmented shortest-path DAGs the scenario
+	// was optimized over, and Ev the evaluator holding the OPTDAG and
+	// max-flow normalizations (exact-LP solves) paid for while
+	// precomputing it. Both depend only on (Survivor, DAGs), never on the
+	// uncertainty box, so a session swapping the scenario in
+	// (delta.Session.Fail) reuses them via Ev.WithBox and the failure
+	// reaction re-pays no normalization — that reuse is what makes the
+	// warm reaction latency near-O(affected) end to end (DESIGN.md §12).
+	DAGs []*dagx.DAG
+	Ev   *oblivious.Evaluator
 }
-
-// PrecomputeGroups builds one re-optimized configuration per link group —
 // the multi-link generalization of Precompute that internal/scen's SRLG
 // and k-link failure suites feed. Groups are computed in parallel; an
 // empty group yields the normal-topology configuration.
@@ -192,6 +200,8 @@ func computeGroupScenario(g *graph.Graph, box *demand.Box, group []graph.EdgeID,
 	sc.Routing = routing
 	sc.Perf = rep.Perf.Ratio
 	sc.ECMPPerf = ev.Perf(oblivious.ECMPOnDAGs(survivor, dags)).Ratio
+	sc.DAGs = dags
+	sc.Ev = ev
 	return sc
 }
 

@@ -53,11 +53,16 @@ func Synthesize(g *graph.Graph, q *wcmp.QuantizedRouting) (*Synthesis, error) {
 
 	for t := range q.Routing.DAGs {
 		dest := graph.NodeID(t)
-		targets, err := targetFIBs(g, q, dest)
+		// One shortest-path tree serves this destination's whole synthesis
+		// (target FIB derivation and the needs-lies check); when the DAG
+		// carries its construction-time distance field no Dijkstra runs at
+		// all.
+		tree := spTree(g, q.Routing.DAGs[t])
+		targets, err := targetFIBs(g, q, dest, tree)
 		if err != nil {
 			return nil, err
 		}
-		if !needsLies(g, dest, targets) {
+		if !needsLies(g, dest, targets, tree) {
 			continue
 		}
 		out.LiedDestinations = append(out.LiedDestinations, dest)
@@ -101,15 +106,28 @@ func Synthesize(g *graph.Graph, q *wcmp.QuantizedRouting) (*Synthesis, error) {
 	return out, nil
 }
 
+// spTree returns a shortest-path tree for d.Dst over g: the DAG's cached
+// construction-time distance field when present (zero Dijkstras — the DAGs
+// of the standard pipeline and of incremental sessions always carry one),
+// falling back to a cold spf.ToDestination for operator-supplied DAGs.
+func spTree(g *graph.Graph, d *dagx.DAG) *spf.Tree {
+	if t := d.Tree(); t != nil {
+		return t
+	}
+	return spf.ToDestination(g, d.Dst)
+}
+
 // targetFIBs derives, per router, the desired next-hop multiplicity map
 // toward dest. Routers whose quantized multiplicities are all zero (no
 // traffic shaped through them) fall back to their shortest-path next-hops
-// so that they still forward deterministically.
-func targetFIBs(g *graph.Graph, q *wcmp.QuantizedRouting, dest graph.NodeID) ([]ospf.FIB, error) {
+// so that they still forward deterministically. The caller provides the
+// destination's shortest-path tree so it is computed (at most) once per
+// destination and shared across the synthesis passes.
+func targetFIBs(g *graph.Graph, q *wcmp.QuantizedRouting, dest graph.NodeID, tree *spf.Tree) ([]ospf.FIB, error) {
 	n := g.NumNodes()
 	d := q.Routing.DAGs[dest]
-	tree := spf.ToDestination(g, dest)
 	fibs := make([]ospf.FIB, n)
+	var hopBuf []graph.EdgeID
 	for u := 0; u < n; u++ {
 		if graph.NodeID(u) == dest {
 			continue
@@ -121,7 +139,8 @@ func targetFIBs(g *graph.Graph, q *wcmp.QuantizedRouting, dest graph.NodeID) ([]
 			}
 		}
 		if len(fib) == 0 {
-			for _, id := range tree.NextHops(g, graph.NodeID(u)) {
+			hopBuf = tree.AppendNextHops(hopBuf[:0], g, graph.NodeID(u))
+			for _, id := range hopBuf {
 				fib[g.Edge(id).To]++
 			}
 		}
@@ -137,18 +156,19 @@ func targetFIBs(g *graph.Graph, q *wcmp.QuantizedRouting, dest graph.NodeID) ([]
 }
 
 // needsLies reports whether the target differs from plain shortest-path
-// ECMP (equal multiplicity 1 on every SP next-hop).
-func needsLies(g *graph.Graph, dest graph.NodeID, targets []ospf.FIB) bool {
-	tree := spf.ToDestination(g, dest)
+// ECMP (equal multiplicity 1 on every SP next-hop), reusing the caller's
+// shortest-path tree for the destination.
+func needsLies(g *graph.Graph, dest graph.NodeID, targets []ospf.FIB, tree *spf.Tree) bool {
+	var hopBuf []graph.EdgeID
 	for u := 0; u < g.NumNodes(); u++ {
 		if graph.NodeID(u) == dest || targets[u] == nil {
 			continue
 		}
-		hops := tree.NextHops(g, graph.NodeID(u))
-		if len(hops) != len(targets[u]) {
+		hopBuf = tree.AppendNextHops(hopBuf[:0], g, graph.NodeID(u))
+		if len(hopBuf) != len(targets[u]) {
 			return true
 		}
-		for _, id := range hops {
+		for _, id := range hopBuf {
 			if targets[u][g.Edge(id).To] != 1 {
 				return true
 			}
@@ -163,7 +183,7 @@ func needsLies(g *graph.Graph, dest graph.NodeID, targets []ospf.FIB) bool {
 func Verify(g *graph.Graph, q *wcmp.QuantizedRouting, syn *Synthesis) error {
 	for t := range q.Routing.DAGs {
 		dest := graph.NodeID(t)
-		targets, err := targetFIBs(g, q, dest)
+		targets, err := targetFIBs(g, q, dest, spTree(g, q.Routing.DAGs[t]))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,59 @@
+package gpopt
+
+import (
+	"testing"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/topo"
+)
+
+// TestRunStepAllocs is the alloc-regression guard for the optimizer's inner
+// loop (tier-1, run in CI): once New has sized the arenas and prepare has
+// seen the scenario set, a full gradient iteration — materialize, forward,
+// smooth-max, backward, Adam — must not allocate at all.
+func TestRunStepAllocs(t *testing.T) {
+	g, err := topo.Load("Geant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	o := New(g, dags, Config{Iters: 1, Workers: 1})
+
+	n := g.NumNodes()
+	scenarios := make([]Scenario, 0, 3)
+	for s := 0; s < 3; s++ {
+		D := demand.NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && (i+j+s)%3 == 0 {
+					D.Set(graph.NodeID(i), graph.NodeID(j), 1+float64((i+s)%5))
+				}
+			}
+		}
+		scenarios = append(scenarios, NewScenario(g, D, 1))
+	}
+
+	if !o.prepare(scenarios) {
+		t.Fatal("scenario set produced no tasks")
+	}
+	// Warm up once so lazily-grown capacities (none expected) settle.
+	o.stepOnce(scenarios, 0.1, nil, nil, nil)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		o.stepOnce(scenarios, 0.1, nil, nil, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("gpopt step allocated %v times per iteration, want 0", allocs)
+	}
+
+	// prepare itself must also be allocation-free once the arenas have been
+	// grown for this scenario set.
+	allocs = testing.AllocsPerRun(20, func() {
+		o.prepare(scenarios)
+	})
+	if allocs != 0 {
+		t.Fatalf("prepare allocated %v times per call, want 0", allocs)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/par"
 	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/spf"
 )
 
 // Scenario is one demand matrix of the finite optimization set, together
@@ -95,14 +96,68 @@ type Optimizer struct {
 	dags []*dagx.DAG
 	cfg  Config
 
-	theta [][]float64 // theta[t][e]; only DAG member edges are meaningful
-	m, v  [][]float64 // Adam moments
-	step  int
+	// θ and the Adam moments live in one flat arena (3·n·nE float64s,
+	// allocated once per topology); theta/m/v are row views into it, so all
+	// existing per-destination indexing — including the warm-state
+	// export/import in warm.go — works unchanged while the parameter state
+	// stays a single contiguous block.
+	paramArena []float64
+	theta      [][]float64 // theta[t][e]; only DAG member edges are meaningful
+	m, v       [][]float64 // Adam moments
+	step       int
 
-	// outsOf[t][u] caches DAG out-edge lists.
-	outsOf [][][]graph.EdgeID
+	// outsOf[t][u] caches DAG out-edge lists as CSR-style views into one
+	// shared arena (no per-(t,u) slice headers on the heap).
+	outsOf    [][][]graph.EdgeID
+	outsArena []graph.EdgeID
 
-	nodeBuf *par.Pool // pooled per-node scratch (inflow / gradient buffers)
+	// scratch holds every buffer Run and materialize need, sized once per
+	// topology (and grown only when the scenario set does), so steady-state
+	// gradient iterations allocate nothing (TestRunStepAllocs).
+	scratch runScratch
+}
+
+// task is one forward/backward work unit: a (scenario, destination) pair
+// with demand.
+type task struct{ si, t int }
+
+// runScratch is the reusable workspace of Run. The parts that depend only
+// on the topology (per-destination φ/gradient rows, per-destination
+// backward buffers, softmax scratch) are allocated in New; the parts that
+// scale with the scenario set (task list, per-task load/inflow rows,
+// per-scenario totals and utilizations) are grown by prepare on the first
+// Run that sees a larger set and reused afterwards. Nothing in here ever
+// escapes the optimizer (DESIGN.md §12: scratch never escapes,
+// instrumentation never touches the numeric path).
+type runScratch struct {
+	phi, grad, gradT [][]float64 // row views, n × nE, backed by gradArena
+	gradArena        []float64
+
+	logits, probs [][]float64 // per-destination softmax scratch, n × maxOutDeg
+
+	destInflow, destGIn [][]float64 // per-destination backward buffers, n × n
+
+	tasks      []task
+	byDest     [][]int     // byDest[t] = indices into tasks, scenario order
+	taskLoads  [][]float64 // row views, len(tasks) × nE
+	taskInflow [][]float64 // row views, len(tasks) × n
+	scLoads    [][]float64 // row views, len(scenarios) × nE
+	taskArena  []float64   // backs taskLoads + taskInflow
+	scArena    []float64   // backs scLoads
+	utils      []float64   // len(scenarios)·nE; utilization of edge e in scenario si at index si·nE+e
+	scaled     []float64   // utils/τ, softmax input
+	w          []float64   // smooth-max weights, softmax output
+
+	// The par.For leaf closures are built once in New and reused every
+	// iteration (a closure passed to For escapes to its worker goroutines,
+	// so a fresh literal per call would heap-allocate). Iteration-varying
+	// state flows through the fields below instead of captures.
+	scenarios     []Scenario // current Run's scenario set (set by prepare)
+	bc1, bc2      float64    // Adam bias corrections for the current step
+	fnMaterialize func(t int)
+	fnForward     func(i int)
+	fnBackward    func(t int)
+	fnAdam        func(t int)
 }
 
 // New creates an optimizer over the given DAGs. Initial ratios approximate
@@ -112,28 +167,131 @@ type Optimizer struct {
 // falls below).
 func New(g *graph.Graph, dags []*dagx.DAG, cfg Config) *Optimizer {
 	cfg = cfg.withDefaults()
-	o := &Optimizer{g: g, dags: dags, cfg: cfg, nodeBuf: par.NewPool(g.NumNodes())}
-	n := g.NumNodes()
-	o.theta = make([][]float64, n)
-	o.m = make([][]float64, n)
-	o.v = make([][]float64, n)
-	o.outsOf = make([][][]graph.EdgeID, n)
+	o := &Optimizer{g: g, dags: dags, cfg: cfg}
+	n, nE := g.NumNodes(), g.NumEdges()
+
+	// Parameter arena: θ, m, v as contiguous rows of one block.
+	o.paramArena = make([]float64, 3*n*nE)
+	o.theta = sliceRows(o.paramArena[0:n*nE], n, nE)
+	o.m = sliceRows(o.paramArena[n*nE:2*n*nE], n, nE)
+	o.v = sliceRows(o.paramArena[2*n*nE:], n, nE)
+
+	// DAG out-edge lists, CSR-packed: count, then carve views.
+	total := 0
 	for t := 0; t < n; t++ {
-		o.theta[t] = make([]float64, g.NumEdges())
-		o.m[t] = make([]float64, g.NumEdges())
-		o.v[t] = make([]float64, g.NumEdges())
+		for e := 0; e < nE; e++ {
+			if dags[t].Member[e] {
+				total++
+			}
+		}
+	}
+	o.outsArena = make([]graph.EdgeID, 0, total)
+	o.outsOf = make([][][]graph.EdgeID, n)
+	maxDeg := 0
+	for t := 0; t < n; t++ {
 		o.outsOf[t] = make([][]graph.EdgeID, n)
-		sp := dagx.ShortestPath(g, graph.NodeID(t))
+		spMember := spMembership(g, dags[t])
 		for u := 0; u < n; u++ {
-			o.outsOf[t][u] = dags[t].OutEdges(g, graph.NodeID(u))
-			for _, id := range o.outsOf[t][u] {
-				if sp.Member[id] {
-					o.theta[t][id] = cfg.InitSPLog
+			start := len(o.outsArena)
+			for _, id := range g.Out(graph.NodeID(u)) {
+				if dags[t].Member[id] {
+					o.outsArena = append(o.outsArena, id)
+					if spMember[id] {
+						o.theta[t][id] = cfg.InitSPLog
+					}
 				}
+			}
+			o.outsOf[t][u] = o.outsArena[start:len(o.outsArena):len(o.outsArena)]
+			if d := len(o.outsOf[t][u]); d > maxDeg {
+				maxDeg = d
+			}
+		}
+	}
+
+	// Topology-sized scratch (scenario-dependent parts grow in prepare).
+	sc := &o.scratch
+	sc.gradArena = make([]float64, 3*n*nE)
+	sc.phi = sliceRows(sc.gradArena[0:n*nE], n, nE)
+	sc.grad = sliceRows(sc.gradArena[n*nE:2*n*nE], n, nE)
+	sc.gradT = sliceRows(sc.gradArena[2*n*nE:], n, nE)
+	softmaxArena := make([]float64, 2*n*maxDeg)
+	sc.logits = sliceRows(softmaxArena[0:n*maxDeg], n, maxDeg)
+	sc.probs = sliceRows(softmaxArena[n*maxDeg:], n, maxDeg)
+	backArena := make([]float64, 2*n*n)
+	sc.destInflow = sliceRows(backArena[0:n*n], n, n)
+	sc.destGIn = sliceRows(backArena[n*n:], n, n)
+	sc.byDest = make([][]int, n)
+
+	sc.fnMaterialize = func(t int) {
+		o.materialize(t, sc.phi[t])
+		for e := range sc.grad[t] {
+			sc.grad[t][e] = 0
+			sc.gradT[t][e] = 0
+		}
+	}
+	sc.fnForward = func(i int) {
+		tk := sc.tasks[i]
+		for j := range sc.taskInflow[i] {
+			sc.taskInflow[i][j] = 0
+		}
+		o.forwardInto(tk.t, sc.scenarios[tk.si].Cols[tk.t], sc.phi[tk.t], sc.taskLoads[i], sc.taskInflow[i])
+	}
+	sc.fnBackward = func(t int) {
+		if len(sc.byDest[t]) == 0 {
+			return
+		}
+		inflow, gIn := sc.destInflow[t], sc.destGIn[t]
+		for _, ti := range sc.byDest[t] {
+			si := sc.tasks[ti].si
+			s := sc.scenarios[si]
+			o.backward(t, s.Cols[t], sc.phi[t], inflow, gIn, sc.w[si*nE:(si+1)*nE], s.Norm, sc.grad[t])
+		}
+	}
+	sc.fnAdam = func(t int) {
+		const beta1, beta2 = 0.9, 0.999
+		for u := 0; u < n; u++ {
+			out := o.outsOf[t][u]
+			if len(out) < 2 {
+				continue // single-edge nodes have fixed φ = 1
+			}
+			dot := 0.0
+			for _, id := range out {
+				dot += sc.grad[t][id] * sc.phi[t][id]
+			}
+			for _, id := range out {
+				sc.gradT[t][id] = sc.phi[t][id] * (sc.grad[t][id] - dot)
+			}
+			for _, id := range out {
+				gth := sc.gradT[t][id]
+				o.m[t][id] = beta1*o.m[t][id] + (1-beta1)*gth
+				o.v[t][id] = beta2*o.v[t][id] + (1-beta2)*gth*gth
+				mhat := o.m[t][id] / sc.bc1
+				vhat := o.v[t][id] / sc.bc2
+				o.theta[t][id] -= o.cfg.LR * mhat / (math.Sqrt(vhat) + 1e-12)
 			}
 		}
 	}
 	return o
+}
+
+// sliceRows carves a flat arena into rows equal-length full-capacity views.
+func sliceRows(arena []float64, rows, width int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		out[i] = arena[i*width : (i+1)*width : (i+1)*width]
+	}
+	return out
+}
+
+// spMembership returns the shortest-path DAG membership vector for d.Dst:
+// derived from the DAG's cached construction-time distance field when
+// present (zero Dijkstras), cold spf.ToDestination otherwise.
+func spMembership(g *graph.Graph, d *dagx.DAG) []bool {
+	tree := d.Tree()
+	if tree == nil {
+		tree = spf.ToDestination(g, d.Dst)
+	}
+	return tree.ShortestPathEdges(g)
 }
 
 // Routing materializes the current parameters as a PD routing
@@ -148,21 +306,17 @@ func (o *Optimizer) Routing() *pdrouting.Routing {
 	return r
 }
 
-// materialize writes φ = softmax(θ) for destination t into phiT.
+// materialize writes φ = softmax(θ) for destination t into phiT, using t's
+// private softmax scratch rows (safe under the per-destination fan-out).
 func (o *Optimizer) materialize(t int, phiT []float64) {
 	n := o.g.NumNodes()
-	var logits, probs []float64
 	for u := 0; u < n; u++ {
 		out := o.outsOf[t][u]
 		if len(out) == 0 || u == t {
 			continue
 		}
-		if cap(logits) < len(out) {
-			logits = make([]float64, len(out))
-			probs = make([]float64, len(out))
-		}
-		logits = logits[:len(out)]
-		probs = probs[:len(out)]
+		logits := o.scratch.logits[t][:len(out)]
+		probs := o.scratch.probs[t][:len(out)]
 		for i, id := range out {
 			logits[i] = o.theta[t][id]
 		}
@@ -248,150 +402,137 @@ func (o *Optimizer) RunCtx(ctx context.Context, scenarios []Scenario) float64 {
 		}
 	}()
 	cfg := o.cfg
-	nE := o.g.NumEdges()
-	n := o.g.NumNodes()
-
-	phi := make([][]float64, n)   // per destination ratios
-	grad := make([][]float64, n)  // dLoss/dφ
-	gradT := make([][]float64, n) // dLoss/dθ
-	for t := 0; t < n; t++ {
-		phi[t] = make([]float64, nE)
-		grad[t] = make([]float64, nE)
-		gradT[t] = make([]float64, nE)
+	if !o.prepare(scenarios) {
+		return 0
 	}
+	for it := 0; it < cfg.Iters; it++ {
+		frac := float64(it) / float64(max(cfg.Iters-1, 1))
+		tau := cfg.TauStart * math.Pow(cfg.TauEnd/cfg.TauStart, frac)
+		o.stepOnce(scenarios, tau, span, &fwdTime, &bwdTime)
+	}
+	return objective(o.Routing(), scenarios, cfg.Workers)
+}
+
+// prepare (re)builds the task list for the scenario set and grows the
+// scenario-sized scratch arenas if needed. It reports whether any work
+// exists. With an unchanged (or smaller) scenario set everything is reused
+// and nothing allocates.
+func (o *Optimizer) prepare(scenarios []Scenario) bool {
+	sc := &o.scratch
+	sc.scenarios = scenarios
+	n, nE := o.g.NumNodes(), o.g.NumEdges()
 
 	// The work units of one gradient step: every (scenario, destination)
 	// pair with demand, in a fixed order. byDest groups the task indices
 	// per destination so the backward pass can accumulate into grad[t]
 	// race-free (one goroutine per destination) yet in scenario order.
-	type task struct{ si, t int }
-	var tasks []task
-	byDest := make([][]int, n)
-	for si, sc := range scenarios {
+	sc.tasks = sc.tasks[:0]
+	for t := range sc.byDest {
+		sc.byDest[t] = sc.byDest[t][:0]
+	}
+	for si, s := range scenarios {
 		for t := 0; t < n; t++ {
-			if sc.Cols[t] == nil {
+			if s.Cols[t] == nil {
 				continue
 			}
-			byDest[t] = append(byDest[t], len(tasks))
-			tasks = append(tasks, task{si: si, t: t})
+			sc.byDest[t] = append(sc.byDest[t], len(sc.tasks))
+			sc.tasks = append(sc.tasks, task{si: si, t: t})
 		}
 	}
-	if len(tasks) == 0 {
-		return 0
-	}
-	taskLoads := make([][]float64, len(tasks))
-	for i := range taskLoads {
-		taskLoads[i] = make([]float64, nE)
+	if len(sc.tasks) == 0 {
+		return false
 	}
 
-	for it := 0; it < cfg.Iters; it++ {
-		frac := float64(it) / float64(max(cfg.Iters-1, 1))
-		tau := cfg.TauStart * math.Pow(cfg.TauEnd/cfg.TauStart, frac)
-
-		// Materialize φ = softmax(θ) and clear gradients, per destination.
-		par.For(cfg.Workers, n, func(t int) {
-			o.materialize(t, phi[t])
-			for e := range grad[t] {
-				grad[t][e] = 0
-				gradT[t][e] = 0
-			}
-		})
-
-		var passStart time.Time
-		if span.Active() {
-			passStart = time.Now()
+	// Row views depend only on the counts, so an unchanged task/scenario
+	// count reuses the previous views outright (zero allocations).
+	nT := len(sc.tasks)
+	if nT != len(sc.taskLoads) {
+		if need := nT * (nE + n); cap(sc.taskArena) < need {
+			sc.taskArena = make([]float64, need)
 		}
+		sc.taskLoads = sliceRows(sc.taskArena[0:nT*nE], nT, nE)
+		sc.taskInflow = sliceRows(sc.taskArena[nT*nE:nT*(nE+n)], nT, n)
+	}
 
-		// Forward: per-(scenario, destination) propagations in parallel...
-		par.For(cfg.Workers, len(tasks), func(i int) {
-			tk := tasks[i]
-			inflow := o.nodeBuf.Get()
-			o.forwardInto(tk.t, scenarios[tk.si].Cols[tk.t], phi[tk.t], taskLoads[i], inflow)
-			o.nodeBuf.Put(inflow)
-		})
-		// ...then per-scenario totals and utilizations reduced serially in
-		// task order.
-		utils := make([]float64, 0, len(scenarios)*nE)
-		utilIdx := make([][]int, len(scenarios)) // scenario → index of edge e in utils
-		scLoads := make([][]float64, len(scenarios))
-		for si := range scenarios {
-			scLoads[si] = make([]float64, nE)
+	nS := len(scenarios)
+	if nS != len(sc.scLoads) {
+		if need := nS * nE; cap(sc.scArena) < need {
+			sc.scArena = make([]float64, need)
+			sc.utils = make([]float64, need)
+			sc.scaled = make([]float64, need)
+			sc.w = make([]float64, need)
 		}
-		for i, tk := range tasks {
-			total := scLoads[tk.si]
-			for e := 0; e < nE; e++ {
-				total[e] += taskLoads[i][e]
-			}
-		}
-		for si, sc := range scenarios {
-			utilIdx[si] = make([]int, nE)
-			for e := 0; e < nE; e++ {
-				utilIdx[si][e] = len(utils)
-				utils = append(utils, scLoads[si][e]/(o.g.Edge(graph.EdgeID(e)).Capacity*sc.Norm))
-			}
-		}
+		sc.scLoads = sliceRows(sc.scArena[:nS*nE], nS, nE)
+		sc.utils = sc.utils[:cap(sc.utils)][:nS*nE]
+		sc.scaled = sc.scaled[:cap(sc.scaled)][:nS*nE]
+		sc.w = sc.w[:cap(sc.w)][:nS*nE]
+	}
+	return true
+}
 
-		// Smooth-max gradient: w_i = exp(u_i/τ)/Σ.
-		w := softmaxScaled(utils, tau)
+// stepOnce performs one Adam iteration at temperature tau. It touches only
+// the optimizer's parameter arena and prepared scratch — zero allocations
+// in steady state (TestRunStepAllocs pins this).
+func (o *Optimizer) stepOnce(scenarios []Scenario, tau float64, span *obs.Span, fwdTime, bwdTime *time.Duration) {
+	cfg := o.cfg
+	sc := &o.scratch
+	n, nE := o.g.NumNodes(), o.g.NumEdges()
 
-		if span.Active() {
-			now := time.Now()
-			fwdTime += now.Sub(passStart)
-			passStart = now
-		}
+	// Materialize φ = softmax(θ) and clear gradients, per destination.
+	par.For(cfg.Workers, n, sc.fnMaterialize)
 
-		// Backward: one goroutine per destination, scenarios in order.
-		par.For(cfg.Workers, n, func(t int) {
-			if len(byDest[t]) == 0 {
-				return
-			}
-			inflow := o.nodeBuf.Get()
-			gIn := o.nodeBuf.Get()
-			for _, ti := range byDest[t] {
-				si := tasks[ti].si
-				sc := scenarios[si]
-				o.backward(t, sc.Cols[t], phi[t], inflow, gIn, func(e int) float64 {
-					return w[utilIdx[si][e]] / (o.g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
-				}, grad[t])
-			}
-			o.nodeBuf.Put(inflow)
-			o.nodeBuf.Put(gIn)
-		})
+	var passStart time.Time
+	if span.Active() {
+		passStart = time.Now()
+	}
 
-		// φ-gradient → θ-gradient through the softmax Jacobian, then Adam;
-		// destinations own disjoint parameter rows.
-		o.step++
-		beta1, beta2 := 0.9, 0.999
-		bc1 := 1 - math.Pow(beta1, float64(o.step))
-		bc2 := 1 - math.Pow(beta2, float64(o.step))
-		par.For(cfg.Workers, n, func(t int) {
-			for u := 0; u < n; u++ {
-				out := o.outsOf[t][u]
-				if len(out) < 2 {
-					continue // single-edge nodes have fixed φ = 1
-				}
-				dot := 0.0
-				for _, id := range out {
-					dot += grad[t][id] * phi[t][id]
-				}
-				for _, id := range out {
-					gradT[t][id] = phi[t][id] * (grad[t][id] - dot)
-				}
-				for _, id := range out {
-					gth := gradT[t][id]
-					o.m[t][id] = beta1*o.m[t][id] + (1-beta1)*gth
-					o.v[t][id] = beta2*o.v[t][id] + (1-beta2)*gth*gth
-					mhat := o.m[t][id] / bc1
-					vhat := o.v[t][id] / bc2
-					o.theta[t][id] -= cfg.LR * mhat / (math.Sqrt(vhat) + 1e-12)
-				}
-			}
-		})
-		if span.Active() {
-			bwdTime += time.Since(passStart)
+	// Forward: per-(scenario, destination) propagations in parallel...
+	par.For(cfg.Workers, len(sc.tasks), sc.fnForward)
+	// ...then per-scenario totals and utilizations reduced serially in
+	// task order. The utilization of edge e in scenario si sits at index
+	// si·nE+e of utils, so no index indirection is needed anywhere.
+	for si := range sc.scLoads {
+		for e := range sc.scLoads[si] {
+			sc.scLoads[si][e] = 0
 		}
 	}
-	return objective(o.Routing(), scenarios, cfg.Workers)
+	for i, tk := range sc.tasks {
+		total := sc.scLoads[tk.si]
+		for e := 0; e < nE; e++ {
+			total[e] += sc.taskLoads[i][e]
+		}
+	}
+	for si, s := range scenarios {
+		base := si * nE
+		for e := 0; e < nE; e++ {
+			sc.utils[base+e] = sc.scLoads[si][e] / (o.g.Edge(graph.EdgeID(e)).Capacity * s.Norm)
+		}
+	}
+
+	// Smooth-max gradient: w_i = exp(u_i/τ)/Σ.
+	for i, x := range sc.utils {
+		sc.scaled[i] = x / tau
+	}
+	geom.Softmax(sc.scaled, sc.w)
+
+	if span.Active() {
+		now := time.Now()
+		*fwdTime += now.Sub(passStart)
+		passStart = now
+	}
+
+	// Backward: one goroutine per destination, scenarios in order.
+	par.For(cfg.Workers, n, sc.fnBackward)
+
+	// φ-gradient → θ-gradient through the softmax Jacobian, then Adam;
+	// destinations own disjoint parameter rows.
+	o.step++
+	sc.bc1 = 1 - math.Pow(0.9, float64(o.step))
+	sc.bc2 = 1 - math.Pow(0.999, float64(o.step))
+	par.For(cfg.Workers, n, sc.fnAdam)
+	if span.Active() {
+		*bwdTime += time.Since(passStart)
+	}
 }
 
 // forwardInto propagates col toward destination t with ratios phiT, writing
@@ -420,11 +561,12 @@ func (o *Optimizer) forwardInto(t int, col []float64, phiT, loads, inflow []floa
 	}
 }
 
-// backward accumulates dLoss/dφ into gPhi given upstream per-edge load
-// gradients gLoad(e). It re-runs the forward recurrence to recover inflows,
-// then walks the DAG in reverse topological order. The caller-provided
-// inflow and gIn scratch buffers are overwritten.
-func (o *Optimizer) backward(t int, col []float64, phiT, inflow, gIn []float64, gLoad func(e int) float64, gPhi []float64) {
+// backward accumulates dLoss/dφ into gPhi given the scenario's smooth-max
+// weight row w (indexed by edge) and normalization norm: the upstream load
+// gradient of edge e is w[e]/(capacity(e)·norm). It re-runs the forward
+// recurrence to recover inflows, then walks the DAG in reverse topological
+// order. The caller-provided inflow and gIn scratch buffers are overwritten.
+func (o *Optimizer) backward(t int, col []float64, phiT, inflow, gIn, w []float64, norm float64, gPhi []float64) {
 	g := o.g
 	d := o.dags[t]
 	for i := range inflow {
@@ -452,21 +594,11 @@ func (o *Optimizer) backward(t int, col []float64, phiT, inflow, gIn []float64, 
 		}
 		for _, id := range o.outsOf[t][u] {
 			to := g.Edge(id).To
-			up := gLoad(int(id)) + gIn[to]
+			up := w[id]/(g.Edge(id).Capacity*norm) + gIn[to]
 			gIn[u] += up * phiT[id]
 			gPhi[id] += up * inflow[u]
 		}
 	}
-}
-
-// softmaxScaled returns the weights of SmoothMax's gradient:
-// exp(u_i/τ)/Σ exp(u_j/τ).
-func softmaxScaled(u []float64, tau float64) []float64 {
-	scaled := make([]float64, len(u))
-	for i, x := range u {
-		scaled[i] = x / tau
-	}
-	return geom.Softmax(scaled, nil)
 }
 
 func max(a, b int) int {

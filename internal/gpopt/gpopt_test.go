@@ -8,6 +8,7 @@ import (
 
 	"github.com/coyote-te/coyote/internal/dagx"
 	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/geom"
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
@@ -235,16 +236,16 @@ func TestPropertyGradientCheck(t *testing.T) {
 				totalLoads[e] += loads[e]
 			}
 		}
-		idx := make([]int, g.NumEdges())
 		for e := 0; e < g.NumEdges(); e++ {
-			idx[e] = len(utils)
 			utils = append(utils, totalLoads[e]/(g.Edge(graph.EdgeID(e)).Capacity*sc.Norm))
 		}
-		w := softmaxScaled(utils, tau)
+		scaled := make([]float64, len(utils))
+		for i, x := range utils {
+			scaled[i] = x / tau
+		}
+		w := geom.Softmax(scaled, nil)
 		for _, d := range dls {
-			o.backward(d.t, sc.Cols[d.t], phi[d.t], inflow, gIn, func(e int) float64 {
-				return w[idx[e]] / (g.Edge(graph.EdgeID(e)).Capacity * sc.Norm)
-			}, grad[d.t])
+			o.backward(d.t, sc.Cols[d.t], phi[d.t], inflow, gIn, w, sc.Norm, grad[d.t])
 		}
 
 		// Pick a few random (t, node) softmax blocks and compare with

@@ -24,10 +24,7 @@
 // two-phase path, so MethodDual is always safe to request.
 package lp
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Method selects the simplex algorithm for a Model solve.
 type Method int8
@@ -157,6 +154,40 @@ type dualCand struct {
 	j     int32
 	ratio float64
 	aj    float64
+}
+
+// dualCandLess is the dual ratio-test order: ascending ratio, ties broken
+// by larger |ᾱ| (pivot stability) then lower column index (determinism).
+// It is a strict total order, so popping a min-heap built on it yields
+// candidates in exactly sorted order.
+func dualCandLess(a, b dualCand) bool {
+	if a.ratio != b.ratio {
+		return a.ratio < b.ratio
+	}
+	aa, ab := math.Abs(a.aj), math.Abs(b.aj)
+	if aa != ab {
+		return aa > ab
+	}
+	return a.j < b.j
+}
+
+// dualCandSift restores the min-heap property below position i.
+func dualCandSift(h []dualCand, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && dualCandLess(h[r], h[l]) {
+			m = r
+		}
+		if !dualCandLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // dualIterate runs dual simplex pivots until primal feasibility (optimal),
@@ -332,49 +363,50 @@ func (s *spx) dualIterate(pricing DualPricing) (Status, bool) {
 		} else {
 			// Bound-flipping walk in ascending ratio order (ties: larger
 			// |ᾱ| first for pivot stability, then index for determinism).
-			sort.Slice(cands, func(a, b int) bool {
-				ca, cb := cands[a], cands[b]
-				if ca.ratio != cb.ratio {
-					return ca.ratio < cb.ratio
-				}
-				aa, ab := math.Abs(ca.aj), math.Abs(cb.aj)
-				if aa != ab {
-					return aa > ab
-				}
-				return ca.j < cb.j
-			})
+			// The walk usually stops after a handful of candidates, so a
+			// heap with lazy pops beats fully sorting the list; the
+			// comparator is a strict total order, so the pop sequence is
+			// exactly the sorted order and the flips (and their scatter
+			// accumulation into s.work) happen in the same order as before.
+			for i := len(cands)/2 - 1; i >= 0; i-- {
+				dualCandSift(cands, i)
+			}
 			viol := s.xB[r] - s.p.up[leaveVar]
 			if !above {
 				viol = s.p.lo[leaveVar] - s.xB[r]
 			}
-			flipFrom := len(cands)
-			for ci, c := range cands {
+			h := cands
+			flipped := false
+			for {
+				c := h[0]
 				rng := s.p.up[c.j] - s.p.lo[c.j]
 				gain := math.Abs(c.aj) * rng
-				if ci == len(cands)-1 || rng >= spxInf || gain >= viol-1e-12 {
-					flipFrom = ci
+				if len(h) == 1 || rng >= spxInf || gain >= viol-1e-12 {
+					enter = c.j
 					break
 				}
 				viol -= gain
-			}
-			enter = cands[flipFrom].j
-			if flipFrom > 0 {
 				// Flip everything cheaper than the entering ratio and fold
-				// the basic-value change in with one ftran:
+				// the basic-value change in with one ftran below:
 				// Δx_B = −B⁻¹·Σ Δx_j·A_j.
-				for i := range s.work {
-					s.work[i] = 0
-				}
-				for _, c := range cands[:flipFrom] {
-					rng := s.p.up[c.j] - s.p.lo[c.j]
-					if s.status[c.j] == BasisLower {
-						s.status[c.j] = BasisUpper
-						s.scatterColumn(c.j, -rng, s.work)
-					} else {
-						s.status[c.j] = BasisLower
-						s.scatterColumn(c.j, rng, s.work)
+				if !flipped {
+					flipped = true
+					for i := range s.work {
+						s.work[i] = 0
 					}
 				}
+				if s.status[c.j] == BasisLower {
+					s.status[c.j] = BasisUpper
+					s.scatterColumn(c.j, -rng, s.work)
+				} else {
+					s.status[c.j] = BasisLower
+					s.scatterColumn(c.j, rng, s.work)
+				}
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+				dualCandSift(h, 0)
+			}
+			if flipped {
 				s.ftran(s.work, flipDelta)
 				for k := range s.xB {
 					s.xB[k] += flipDelta[k]

@@ -34,6 +34,7 @@ type luFactors struct {
 	pinv    []int32
 	cperm   []int32   // factorization column → basis position
 	cwork   []float64 // btran scratch (engine is single-threaded per solve)
+	lPivIdx []int32   // pinv[lRowIdx[p]] precomputed: btranLU's Lᵀ gather index
 }
 
 // luScratch holds the work arrays shared by factorization and solves, so a
@@ -211,6 +212,12 @@ func luFactorize(m int, col basisColumn, sc *luScratch) (*luFactors, bool) {
 		f.lColPtr = append(f.lColPtr, int32(len(f.lRowIdx)))
 		f.uColPtr = append(f.uColPtr, int32(len(f.uVal)))
 	}
+	// Resolve L's row indices to pivot space once: every btranLU otherwise
+	// pays the pinv indirection per entry per solve.
+	f.lPivIdx = make([]int32, len(f.lRowIdx))
+	for p, r := range f.lRowIdx {
+		f.lPivIdx[p] = f.pinv[r]
+	}
 	return f, true
 }
 
@@ -271,8 +278,11 @@ func (f *luFactors) ftranLU(b, out []float64) {
 		if t == 0 {
 			continue
 		}
-		for p := f.lColPtr[k]; p < f.lColPtr[k+1]; p++ {
-			b[f.lRowIdx[p]] -= f.lVal[p] * t
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		idx := f.lRowIdx[lo:hi]
+		val := f.lVal[lo:hi:hi]
+		for i, r := range idx {
+			b[r] -= val[i] * t
 		}
 	}
 	// Gather z into pivot space.
@@ -289,8 +299,11 @@ func (f *luFactors) ftranLU(b, out []float64) {
 		if x == 0 {
 			continue
 		}
-		for p := f.uColPtr[k]; p < f.uColPtr[k+1]; p++ {
-			w[f.uRowIdx[p]] -= f.uVal[p] * x
+		lo, hi := f.uColPtr[k], f.uColPtr[k+1]
+		idx := f.uRowIdx[lo:hi]
+		val := f.uVal[lo:hi:hi]
+		for i, j := range idx {
+			w[j] -= val[i] * x
 		}
 	}
 	for k := 0; k < f.m; k++ {
@@ -311,17 +324,24 @@ func (f *luFactors) btranLU(c, out []float64) {
 	// of Uᵀ).
 	for k := 0; k < f.m; k++ {
 		s := w[k]
-		for p := f.uColPtr[k]; p < f.uColPtr[k+1]; p++ {
-			s -= f.uVal[p] * w[f.uRowIdx[p]]
+		lo, hi := f.uColPtr[k], f.uColPtr[k+1]
+		idx := f.uRowIdx[lo:hi]
+		val := f.uVal[lo:hi:hi]
+		for i, j := range idx {
+			s -= val[i] * w[j]
 		}
 		w[k] = s / f.uDiag[k]
 	}
 	// Backward: Lᵀ v = w, in decreasing pivot order; L column entries sit at
-	// original rows whose pivot indices are all larger than k.
+	// original rows whose pivot indices are all larger than k (gathered via
+	// the precomputed lPivIdx).
 	for k := f.m - 1; k >= 0; k-- {
 		s := w[k]
-		for p := f.lColPtr[k]; p < f.lColPtr[k+1]; p++ {
-			s -= f.lVal[p] * w[f.pinv[f.lRowIdx[p]]]
+		lo, hi := f.lColPtr[k], f.lColPtr[k+1]
+		idx := f.lPivIdx[lo:hi]
+		val := f.lVal[lo:hi:hi]
+		for i, q := range idx {
+			s -= val[i] * w[q]
 		}
 		w[k] = s
 	}

@@ -109,6 +109,12 @@ type spx struct {
 	luSc  *luScratch
 	etas  []eta
 	stats SolveStats
+	// etaIdx/etaVal back every live eta's idx/val segments (three-index
+	// sliced so a segment can never be overwritten by later appends).
+	// Recycled wholesale at each refactorization, so steady-state pivots
+	// stop allocating per-eta slices.
+	etaIdx []int32
+	etaVal []float64
 
 	// scratch
 	work  []float64 // dense m
@@ -120,9 +126,9 @@ type spx struct {
 
 type eta struct {
 	r   int32 // basis position replaced
-	idx []int32
+	idx []int32 // off-diagonal rows of the pivot column (excludes r)
 	val []float64
-	pv  float64 // alpha[r]
+	pv  float64 // alpha[r], the diagonal
 }
 
 // colLo/colUp and colVal read the bounds and current nonbasic value of a
@@ -385,6 +391,8 @@ func (s *spx) factorize() bool {
 	}
 	s.lu = f
 	s.etas = s.etas[:0]
+	s.etaIdx = s.etaIdx[:0]
+	s.etaVal = s.etaVal[:0]
 	s.stats.Refactorizations++
 	return true
 }
@@ -415,9 +423,7 @@ func (s *spx) ftran(b, out []float64) {
 		t := out[et.r] / et.pv
 		if t != 0 {
 			for i, r := range et.idx {
-				if r != et.r {
-					out[r] -= et.val[i] * t
-				}
+				out[r] -= et.val[i] * t
 			}
 		}
 		out[et.r] = t
@@ -431,9 +437,7 @@ func (s *spx) btran(c, out []float64) {
 		et := &s.etas[e]
 		t := c[et.r]
 		for i, r := range et.idx {
-			if r != et.r {
-				t -= et.val[i] * c[r]
-			}
+			t -= et.val[i] * c[r]
 		}
 		c[et.r] = t / et.pv
 	}
@@ -693,15 +697,23 @@ func (s *spx) pivot(enter int32, dir, t float64, r int32, leaveAt int8) {
 	s.inBasisPos[enter] = r
 	s.xB[r] = enterVal
 
-	// Record the eta for this basis change.
-	et := eta{r: r, pv: s.alpha[r]}
+	// Record the eta for this basis change. The diagonal entry lives in pv
+	// only; idx/val hold the off-diagonal rows, carved out of the shared
+	// arenas so steady-state pivots allocate nothing.
+	start := len(s.etaIdx)
 	for k, v := range s.alpha {
-		if v != 0 {
-			et.idx = append(et.idx, int32(k))
-			et.val = append(et.val, v)
+		if v != 0 && int32(k) != r {
+			s.etaIdx = append(s.etaIdx, int32(k))
+			s.etaVal = append(s.etaVal, v)
 		}
 	}
-	s.etas = append(s.etas, et)
+	end := len(s.etaIdx)
+	s.etas = append(s.etas, eta{
+		r:   r,
+		pv:  s.alpha[r],
+		idx: s.etaIdx[start:end:end],
+		val: s.etaVal[start:end:end],
+	})
 	if len(s.etas) >= refactorEvery {
 		if !s.factorize() {
 			// Should not happen for a basis reached by valid pivots; fall

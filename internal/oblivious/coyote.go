@@ -11,6 +11,7 @@ import (
 	"github.com/coyote-te/coyote/internal/mcf"
 	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/pdrouting"
+	"github.com/coyote-te/coyote/internal/spf"
 )
 
 // Options configures COYOTE's splitting-ratio computation.
@@ -231,14 +232,20 @@ func optimizeWithEvaluator(g *graph.Graph, dags []*dagx.DAG, ev *Evaluator, opts
 func ECMPOnDAGs(g *graph.Graph, dags []*dagx.DAG) *pdrouting.Routing {
 	r := pdrouting.NewZero(g, dags)
 	for t := range dags {
-		sp := dagx.ShortestPath(g, graph.NodeID(t))
+		// Reuse the DAG's cached construction-time distance field when
+		// present; only operator-supplied DAGs (FromEdges) pay a Dijkstra.
+		tree := dags[t].Tree()
+		if tree == nil {
+			tree = spf.ToDestination(g, graph.NodeID(t))
+		}
+		spMember := tree.ShortestPathEdges(g)
 		for u := 0; u < g.NumNodes(); u++ {
 			if u == t {
 				continue
 			}
 			var hops []graph.EdgeID
 			for _, id := range dags[t].OutEdges(g, graph.NodeID(u)) {
-				if sp.Member[id] {
+				if spMember[id] {
 					hops = append(hops, id)
 				}
 			}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/spf"
 )
 
 // FakeNode is one injected lie, scoped to a single destination prefix.
@@ -80,30 +81,33 @@ func (db *LSDB) SPF(dest graph.NodeID) []FIB {
 
 	// Distances toward dest over the augmented graph. Fake nodes only have
 	// the path f → dest (CostDown), so dist(f) = CostDown, and they are
-	// reachable only from their attachment router.
+	// reachable only from their attachment router — each fake therefore
+	// contributes exactly one constant-length candidate path
+	// Attached → f → dest of cost CostUp+CostDown. Seeding those candidates
+	// against dist[dest]=0 (final immediately) lets a single reverse
+	// Dijkstra on the indexed heap cover the augmented graph without ever
+	// materializing the fake vertices.
 	dist := make([]float64, n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[dest] = 0
-	// Bellman–Ford over real edges plus fake shortcuts; the graph is small
-	// and this sidesteps heap bookkeeping for the fake adjacencies.
-	for iter := 0; iter < n+1; iter++ {
-		changed := false
-		for _, e := range g.Edges() {
-			if nd := e.Weight + dist[e.To]; nd < dist[e.From]-1e-15 {
+	h := spf.NewHeap(n)
+	h.DecreaseTo(dest, 0)
+	for _, f := range fakes {
+		if nd := f.CostUp + f.CostDown; nd < dist[f.Attached] {
+			dist[f.Attached] = nd
+			h.DecreaseTo(f.Attached, nd)
+		}
+	}
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		for _, id := range g.In(v) {
+			e := g.Edge(id)
+			if nd := e.Weight + d; nd < dist[e.From] {
 				dist[e.From] = nd
-				changed = true
+				h.DecreaseTo(e.From, nd)
 			}
-		}
-		for _, f := range fakes {
-			if nd := f.CostUp + f.CostDown; nd < dist[f.Attached]-1e-15 {
-				dist[f.Attached] = nd
-				changed = true
-			}
-		}
-		if !changed {
-			break
 		}
 	}
 

@@ -48,10 +48,32 @@ func Resolve(workers int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// effective bounds a resolved worker count by what can actually run in
+// parallel: never more workers than leaves, and never more than physical
+// CPUs. The second cap is what keeps "workers=4" proportional on a 1-CPU
+// machine (or under an inflated GOMAXPROCS): extra goroutines there only
+// time-slice the same core and pay spawn/switch overhead for nothing.
+// Scheduling-only — the determinism contract makes results identical at
+// every worker count, so capping never changes output.
+func effective(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if c := runtime.NumCPU(); workers > c {
+		workers = c
+	}
+	return workers
+}
+
 // For invokes fn(i) exactly once for every i in [0, n), using at most
-// Resolve(workers) goroutines. Leaves are handed out in contiguous chunks
-// to amortize scheduling overhead on fine-grained loops. With one worker
-// (or n ≤ 1) fn runs inline on the calling goroutine in index order.
+// effective(Resolve(workers), n) concurrent workers (never more than
+// runtime.NumCPU()). Leaves are handed out in contiguous chunks to amortize
+// scheduling overhead on fine-grained loops, and the calling goroutine
+// participates as one of the workers, so a w-way loop spawns only w−1
+// goroutines and a 1-way (or 1-CPU) loop spawns none — fn then runs inline
+// on the calling goroutine in index order with zero allocations. That
+// proportional-overhead guarantee is what keeps "workers>1" configurations
+// from losing to serial runs on small inputs or small machines.
 //
 // fn must treat distinct indices as independent: write results only into
 // the slot for i, never read a sibling's slot, and take any shared scratch
@@ -63,10 +85,7 @@ func For(workers, n int, fn func(i int)) {
 	}
 	mLoops.Inc()
 	mTasks.Add(uint64(n))
-	workers = Resolve(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = effective(Resolve(workers), n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -82,31 +101,37 @@ func For(workers, n int, fn func(i int)) {
 	}
 	spawned := time.Now()
 	var next atomic.Int64
+	run := func(observeWait bool) {
+		first := true
+		for {
+			start := int(next.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			if first {
+				if observeWait {
+					mQueueWait.ObserveSince(spawned)
+				}
+				first = false
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}
+	}
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			first := true
-			for {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				if first {
-					mQueueWait.ObserveSince(spawned)
-					first = false
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
-			}
+			run(true)
 		}()
 	}
+	run(false) // the caller is worker 0; its queue wait is always ~0
 	wg.Wait()
 }
 

@@ -5,10 +5,18 @@
 // Distances are computed toward a destination t over the reversed graph, so
 // that dist[u] is the length of the shortest u→t path; an edge e = (u,v)
 // lies on a shortest path to t iff dist[u] = w(e) + dist[v].
+//
+// Two computation modes share one arithmetic contract. ToDestination is the
+// cold Dijkstra over an indexed value-typed heap (no allocation per
+// relaxation); Incremental maintains the same distance field under edge
+// weight changes, failures, and recoveries, repairing only the affected
+// vertices (Ramalingam–Reps style). Both converge to the unique least
+// fixpoint of dist[u] = min over out-edges (u,v) of fl(w + dist[v]) in
+// float64 arithmetic, so their outputs are bit-identical — the property the
+// online controller's parity suite pins down.
 package spf
 
 import (
-	"container/heap"
 	"math"
 
 	"github.com/coyote-te/coyote/internal/graph"
@@ -29,33 +37,53 @@ type Tree struct {
 	Dist []float64 // Dist[u] = length of shortest u→Dst path, Inf if unreachable
 }
 
+// FromDist wraps an existing distance field (for example a forwarding DAG's
+// cached Dist, or an Incremental's repaired field) as a Tree, sharing the
+// slice. It lets consumers reuse distances that are already known instead of
+// re-running Dijkstra.
+func FromDist(dst graph.NodeID, dist []float64) *Tree {
+	return &Tree{Dst: dst, Dist: dist}
+}
+
 // ToDestination computes shortest-path distances from every node toward dst
 // using Dijkstra's algorithm over the reversed graph.
 func ToDestination(g *graph.Graph, dst graph.NodeID) *Tree {
 	n := g.NumNodes()
-	dist := make([]float64, n)
+	t := &Tree{Dst: dst, Dist: make([]float64, n)}
+	dijkstraInto(g, dst, t.Dist, NewHeap(n))
+	return t
+}
+
+// ToDestinationInto is ToDestination writing into caller-owned storage: dist
+// (length NumNodes, fully overwritten) and a heap over at least NumNodes
+// nodes (must be empty; left empty). It performs no allocation.
+func ToDestinationInto(g *graph.Graph, dst graph.NodeID, dist []float64, h *Heap) *Tree {
+	dijkstraInto(g, dst, dist, h)
+	return &Tree{Dst: dst, Dist: dist}
+}
+
+// dijkstraInto runs Dijkstra toward dst over the reversed graph, writing
+// into dist using h as the frontier queue.
+func dijkstraInto(g *graph.Graph, dst graph.NodeID, dist []float64, h *Heap) {
 	for i := range dist {
 		dist[i] = Inf
 	}
 	dist[dst] = 0
-	pq := &nodeHeap{{node: dst, dist: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(nodeItem)
-		if item.dist > dist[item.node] {
-			continue
-		}
-		// Relax reversed edges: for edge e=(u,v) entering item.node (v),
-		// a path u→t via v costs w(e) + dist[v].
-		for _, id := range g.In(item.node) {
+	h.DecreaseTo(dst, 0)
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		dist[v] = d
+		// Relax reversed edges: for edge e=(u,v) entering v, a path u→t via
+		// v costs w(e) + d.
+		for _, id := range g.In(v) {
 			e := g.Edge(id)
-			nd := e.Weight + item.dist
+			nd := e.Weight + d
 			if nd < dist[e.From] {
 				dist[e.From] = nd
-				heap.Push(pq, nodeItem{node: e.From, dist: nd})
+				h.DecreaseTo(e.From, nd)
 			}
 		}
 	}
-	return &Tree{Dst: dst, Dist: dist}
 }
 
 // OnShortestPath reports whether directed edge e lies on some shortest path
@@ -71,26 +99,36 @@ func (t *Tree) OnShortestPath(e graph.Edge) bool {
 // NextHops returns the ECMP next-hop edge set of node u toward the tree's
 // destination: all outgoing edges on shortest paths.
 func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.EdgeID {
+	return t.AppendNextHops(nil, g, u)
+}
+
+// AppendNextHops appends u's ECMP next-hop edges toward the tree's
+// destination to buf and returns the extended slice — the allocation-free
+// variant of NextHops for callers that own a reusable buffer.
+func (t *Tree) AppendNextHops(buf []graph.EdgeID, g *graph.Graph, u graph.NodeID) []graph.EdgeID {
 	if u == t.Dst || t.Dist[u] == Inf {
-		return nil
+		return buf
 	}
-	var hops []graph.EdgeID
 	for _, id := range g.Out(u) {
 		if t.OnShortestPath(g.Edge(id)) {
-			hops = append(hops, id)
+			buf = append(buf, id)
 		}
 	}
-	return hops
+	return buf
 }
 
 // ShortestPathEdges returns a boolean membership vector (indexed by EdgeID)
 // of the shortest-path DAG rooted at the tree's destination.
 func (t *Tree) ShortestPathEdges(g *graph.Graph) []bool {
-	member := make([]bool, g.NumEdges())
+	return t.ShortestPathEdgesInto(make([]bool, g.NumEdges()), g)
+}
+
+// ShortestPathEdgesInto writes the shortest-path DAG membership vector into
+// member (length NumEdges, fully overwritten) and returns it — the
+// allocation-free variant of ShortestPathEdges.
+func (t *Tree) ShortestPathEdgesInto(member []bool, g *graph.Graph) []bool {
 	for _, e := range g.Edges() {
-		if t.OnShortestPath(e) {
-			member[e.ID] = true
-		}
+		member[e.ID] = t.OnShortestPath(e)
 	}
 	return member
 }
@@ -98,8 +136,10 @@ func (t *Tree) ShortestPathEdges(g *graph.Graph) []bool {
 // AllDestinations computes a Tree for every node of g.
 func AllDestinations(g *graph.Graph) []*Tree {
 	trees := make([]*Tree, g.NumNodes())
+	h := NewHeap(g.NumNodes())
 	for t := 0; t < g.NumNodes(); t++ {
-		trees[t] = ToDestination(g, graph.NodeID(t))
+		dist := make([]float64, g.NumNodes())
+		trees[t] = ToDestinationInto(g, graph.NodeID(t), dist, h)
 	}
 	return trees
 }
@@ -127,23 +167,4 @@ func HopDistance(g *graph.Graph, dst graph.NodeID) []float64 {
 		}
 	}
 	return dist
-}
-
-type nodeItem struct {
-	node graph.NodeID
-	dist float64
-}
-
-type nodeHeap []nodeItem
-
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -12,7 +12,8 @@ import (
 
 // Diff is one benchmark's old-vs-new comparison. Status is "ok",
 // "REGRESSION", "improved", "new" (only in the new report), or "gone"
-// (only in the old one).
+// (only in the old one). Status is driven by ns/op alone; the -benchmem
+// columns ride along purely advisorily (nil when a side lacked them).
 type Diff struct {
 	Benchmark string
 	Workers   int
@@ -20,6 +21,10 @@ type Diff struct {
 	NewNs     float64
 	Delta     float64 // (new-old)/old; 0 for new/gone rows
 	Status    string
+	OldAllocs *float64
+	NewAllocs *float64
+	OldBytes  *float64
+	NewBytes  *float64
 }
 
 // seriesKey identifies a measurement across reports: same benchmark at
@@ -48,10 +53,13 @@ func compareReports(old, cur Report, threshold float64) []Diff {
 	for k, nr := range curBy {
 		or, ok := oldBy[k]
 		if !ok {
-			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, NewNs: nr.NsPerOp, Status: "new"})
+			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, NewNs: nr.NsPerOp, Status: "new",
+				NewAllocs: nr.AllocsPerOp, NewBytes: nr.BytesPerOp})
 			continue
 		}
-		d := Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, NewNs: nr.NsPerOp}
+		d := Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+			OldBytes: or.BytesPerOp, NewBytes: nr.BytesPerOp}
 		if or.NsPerOp > 0 {
 			d.Delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
 		}
@@ -67,7 +75,8 @@ func compareReports(old, cur Report, threshold float64) []Diff {
 	}
 	for k, or := range oldBy {
 		if _, ok := curBy[k]; !ok {
-			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, Status: "gone"})
+			diffs = append(diffs, Diff{Benchmark: k.bench, Workers: k.workers, OldNs: or.NsPerOp, Status: "gone",
+				OldAllocs: or.AllocsPerOp, OldBytes: or.BytesPerOp})
 		}
 	}
 	sort.Slice(diffs, func(i, j int) bool {
@@ -92,9 +101,11 @@ func readReport(path string) (Report, error) {
 }
 
 // writeCompare renders the diff table and returns the regression count.
+// The allocs/op columns are advisory context, never a gate: the status
+// column remains purely ns/op-driven.
 func writeCompare(w io.Writer, old, cur Report, diffs []Diff) int {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tworkers\told ns/op\tnew ns/op\tdelta\tstatus")
+	fmt.Fprintln(tw, "benchmark\tworkers\told ns/op\tnew ns/op\tdelta\told allocs/op\tnew allocs/op\tstatus")
 	regressions := 0
 	for _, d := range diffs {
 		if d.Status == "REGRESSION" {
@@ -104,7 +115,8 @@ func writeCompare(w io.Writer, old, cur Report, diffs []Diff) int {
 		if d.Status != "new" && d.Status != "gone" {
 			delta = fmt.Sprintf("%+.1f%%", 100*d.Delta)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", d.Benchmark, d.Workers, oldNs, newNs, delta, d.Status)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n", d.Benchmark, d.Workers, oldNs, newNs, delta,
+			fmtAllocs(d.OldAllocs), fmtAllocs(d.NewAllocs), d.Status)
 	}
 	tw.Flush()
 	if old.NumCPU != cur.NumCPU {
@@ -119,6 +131,15 @@ func fmtNs(ns float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f", ns)
+}
+
+// fmtAllocs renders an allocs/op cell: "-" when the report lacked
+// -benchmem data, the number otherwise (a measured 0 prints as 0).
+func fmtAllocs(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", *v)
 }
 
 func compareMain(argv []string) {

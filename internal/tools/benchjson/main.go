@@ -9,7 +9,9 @@
 // Each result records the benchmark name, the corpus topology it
 // computes (when derivable from the name), the worker count (the -cpu
 // value, which the benchmarks map one-to-one onto the evaluation
-// engine's worker pool), iterations, and ns/op. The report also records
+// engine's worker pool), iterations, ns/op, and — when the run used
+// `-benchmem` — bytes/op and allocs/op, so the allocation-free hot-path
+// guarantees are part of the diffable record. The report also records
 // the host's runtime.NumCPU: on a 1-CPU runner a workers=4 measurement is
 // pure scheduling overhead, and the recorded CPU count is what makes such
 // numbers interpretable after the fact.
@@ -47,6 +49,11 @@ type Result struct {
 	Workers    int     `json:"workers"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are the `-benchmem` columns. Pointers so a
+	// measured zero — the allocation-free hot paths' whole point — is
+	// distinguishable from a run without -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Metrics carries any custom b.ReportMetric values on the line
 	// (e.g. BenchmarkDualRestart's pivots/op) keyed by unit.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -73,6 +80,10 @@ var benchTopologies = map[string]string{
 	"BenchmarkComputeEndToEnd":       "running-example",
 	"BenchmarkWarmRecompute":         "Geant",
 	"BenchmarkColdRecompute":         "Geant",
+	"BenchmarkSessionFailRecover":    "Geant",
+	"BenchmarkSPFRepair/incremental": "Geant",
+	"BenchmarkSPFRepair/cold":        "Geant",
+	"BenchmarkOptimizerStep":         "Geant",
 	"BenchmarkExactOPT/sparse":       "BICS",
 	"BenchmarkExactOPT/dense":        "BICS",
 	"BenchmarkSlaveLP/warm":          "Abilene",
@@ -136,23 +147,38 @@ func main() {
 		iters, _ := strconv.Atoi(m[3])
 		ns, _ := strconv.ParseFloat(m[4], 64)
 		var metrics map[string]float64
+		var bytesPer, allocsPer *float64
 		for _, mm := range metricPair.FindAllStringSubmatch(m[5], -1) {
 			v, err := strconv.ParseFloat(mm[1], 64)
 			if err != nil {
 				continue
 			}
-			if metrics == nil {
-				metrics = make(map[string]float64)
+			// The -benchmem columns are first-class fields, not Metrics:
+			// compare diffs them by name, and a pointer keeps a measured
+			// zero distinguishable from "not run with -benchmem".
+			switch mm[2] {
+			case "B/op":
+				w := v
+				bytesPer = &w
+			case "allocs/op":
+				w := v
+				allocsPer = &w
+			default:
+				if metrics == nil {
+					metrics = make(map[string]float64)
+				}
+				metrics[mm[2]] = v
 			}
-			metrics[mm[2]] = v
 		}
 		rep.Results = append(rep.Results, Result{
-			Benchmark:  m[1],
-			Topology:   benchTopologies[m[1]],
-			Workers:    workers,
-			Iterations: iters,
-			NsPerOp:    ns,
-			Metrics:    metrics,
+			Benchmark:   m[1],
+			Topology:    benchTopologies[m[1]],
+			Workers:     workers,
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  bytesPer,
+			AllocsPerOp: allocsPer,
+			Metrics:     metrics,
 		})
 	}
 	if err := sc.Err(); err != nil {
