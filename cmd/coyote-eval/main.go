@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"github.com/coyote-te/coyote/internal/lp"
 	"github.com/coyote-te/coyote/internal/obs"
 	"github.com/coyote-te/coyote/internal/scen"
+	"github.com/coyote-te/coyote/internal/strategy"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		topoFile = flag.String("topo-file", "", "margin-sweep this topology file (text/GraphML/SNDlib) instead of a registered experiment")
 		model    = flag.String("demand", "gravity", "demand model for -topo-file sweeps")
 		quick    = flag.Bool("quick", false, "use the reduced (smoke-test) configuration")
+		strats   = flag.String("strategy", "", "comma-separated strategy subset for the portfolio experiments (default: all; see -list)")
 		workers  = flag.Int("workers", 0, "worker-pool size for the evaluation engine (0 = one per CPU; results are identical for any value)")
 		lpStats  = flag.Bool("lp-stats", false, "print sparse-LP solver statistics (iterations, refactorizations, warm-start and dual-restart hit rates, presolve reductions) after each run")
 		metrics  = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text) to stderr before exiting")
@@ -76,6 +79,15 @@ func main() {
 		cfg = exp.Quick()
 	}
 	cfg.Workers = *workers
+	if *strats != "" {
+		for _, name := range strings.Split(*strats, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := strategy.New(name, strategy.Config{}); err != nil {
+				fatal(err)
+			}
+			cfg.Strategies = append(cfg.Strategies, name)
+		}
+	}
 	switch {
 	case *all:
 		for _, id := range exp.IDs() {
@@ -126,6 +138,10 @@ func printList() {
 	fmt.Println("experiments (-run):")
 	for _, id := range exp.IDs() {
 		fmt.Printf("  %s\n", id)
+	}
+	fmt.Println("\nTE strategies (-strategy, portfolio experiments):")
+	for _, name := range strategy.Names() {
+		fmt.Printf("  %s\n", name)
 	}
 	fmt.Println("\ncorpus topologies (cmd/coyote -topo):")
 	for _, name := range coyote.TopologyNames() {

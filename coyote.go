@@ -210,11 +210,14 @@ func (e *Engine) Compute() (*Config, error) {
 	}
 	g := e.topo.g
 	if e.opts.LocalSearchWeights {
-		ls := localsearch.Optimize(g, e.bounds, localsearch.Config{
+		ls, err := localsearch.Optimize(g, e.bounds, localsearch.Config{
 			OuterIters: maxInt(e.opts.AdversarialIters, 3),
 			InnerMoves: 10 * g.NumEdges(),
 			Seed:       e.opts.Seed,
 		})
+		if err != nil {
+			return nil, err
+		}
 		g = g.Clone()
 		g.SetWeights(ls.Weights)
 	}

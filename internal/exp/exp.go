@@ -158,6 +158,11 @@ type Config struct {
 	// Zero or negative means one worker per available CPU. Tables are
 	// bit-identical for any value given the same Seed.
 	Workers int
+	// Strategies restricts the portfolio experiments' strategy columns
+	// (nil/empty = every registered strategy). omitempty keeps the JSON
+	// encoding — and therefore every existing sweep cache key — unchanged
+	// when the field is unset.
+	Strategies []string `json:",omitempty"`
 	// Ctx, when it carries an obs.Tracer, threads tracing spans through the
 	// adversarial loop beneath the experiment. Excluded from JSON (and thus
 	// from sweep cache keys): tracing never changes results.

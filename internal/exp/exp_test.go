@@ -68,7 +68,7 @@ func TestServeDriftSmoke(t *testing.T) {
 }
 
 func TestRegistryIDs(t *testing.T) {
-	want := []string{"ablation-adv", "ablation-dag", "failover", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "negative-np", "negative-path", "running", "scen-ba", "scen-fattree", "scen-grid-day", "scen-srlg", "scen-waxman", "serve-drift", "table1"}
+	want := []string{"ablation-adv", "ablation-dag", "failover", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9", "negative-np", "negative-path", "portfolio", "portfolio-failures", "running", "scen-ba", "scen-fattree", "scen-grid-day", "scen-srlg", "scen-waxman", "serve-drift", "table1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)

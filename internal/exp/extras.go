@@ -29,12 +29,17 @@ func Fig9(cfg Config) (*Table, error) {
 		Columns: []string{"margin", "ECMP", "COYOTE-pk"},
 	}
 	rows := make([][]string, len(cfg.Margins))
+	errs := make([]error, len(cfg.Margins))
 	par.For(cfg.Workers, len(cfg.Margins), func(i int) {
 		margin := cfg.Margins[i]
 		box := demand.MarginBox(base, margin)
-		ls := localsearch.Optimize(g, box, localsearch.Config{
+		ls, err := localsearch.Optimize(g, box, localsearch.Config{
 			OuterIters: cfg.AdvIters, InnerMoves: 10 * g.NumEdges(), Seed: cfg.Seed,
 		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		tuned := g.Clone()
 		tuned.SetWeights(ls.Weights)
 		dags := dagx.BuildAll(tuned, dagx.Augmented)
@@ -43,6 +48,11 @@ func Fig9(cfg Config) (*Table, error) {
 		_, rep := oblivious.OptimizeWithEvaluator(tuned, dags, ev, cfg.options())
 		rows[i] = []string{f1(margin), f2(ecmp.Ratio), f2(rep.Perf.Ratio)}
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out.Rows = rows
 	return out, nil
 }

@@ -69,6 +69,10 @@ var registry = map[string]Runner{
 	"serve-drift": func(cfg Config) (*Table, error) {
 		return ServeDrift(scen.Params{Rows: 3, Cols: 4}, 8, cfg)
 	},
+	// TE strategy portfolio (internal/strategy): every registered strategy
+	// head-to-head, normalized by the per-matrix OPT oracle.
+	"portfolio":          Portfolio,
+	"portfolio-failures": PortfolioFailures,
 }
 
 // IDs returns the registered experiment IDs, sorted.
@@ -110,6 +114,8 @@ var ErrUnknownID = errors.New("unknown experiment ID")
 //	scen-srlg      — shared-risk link-group failures on a ring WAN
 //	serve-drift    — online controller: warm vs cold recompute over a
 //	                 time-of-day drift, with LSA churn per step
+//	portfolio      — strategy × scenario head-to-head, MLU ratios vs OPT
+//	portfolio-failures — the same head-to-head on link-failure survivors
 //
 // An unregistered ID yields an error wrapping ErrUnknownID that lists the
 // valid IDs.

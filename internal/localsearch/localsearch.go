@@ -11,6 +11,8 @@
 package localsearch
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -19,6 +21,14 @@ import (
 	"github.com/coyote-te/coyote/internal/graph"
 	"github.com/coyote-te/coyote/internal/pdrouting"
 )
+
+// ErrInvalidInput is the typed error (wrapped with detail) Optimize returns
+// when the graph cannot support a weight search: fewer than two nodes, no
+// edges (the move neighbourhood would be empty and rng.Intn(0) panics), or
+// an edge whose capacity is not positive and finite (the INVERSECAPACITY
+// initialization maxCap/c_e would produce an Inf or NaN weight, poisoning
+// every subsequent SPF).
+var ErrInvalidInput = errors.New("localsearch: invalid input")
 
 // Config tunes the search.
 type Config struct {
@@ -53,8 +63,13 @@ type Result struct {
 // Optimize runs Algorithm 1 against the uncertainty box and returns
 // optimized link weights. The input graph's weights are left untouched;
 // INVERSECAPACITY initialization follows the Cisco-recommended default the
-// paper cites [16].
-func Optimize(g *graph.Graph, box *demand.Box, cfg Config) *Result {
+// paper cites [16]. Degenerate inputs (single-node or edgeless graphs,
+// non-positive or infinite capacities, a box of mismatched dimension)
+// return an error wrapping ErrInvalidInput instead of panicking mid-search.
+func Optimize(g *graph.Graph, box *demand.Box, cfg Config) (*Result, error) {
+	if err := validate(g, box); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -80,7 +95,11 @@ func Optimize(g *graph.Graph, box *demand.Box, cfg Config) *Result {
 		// worst-case DM for ECMP on those DAGs.
 		dm, util := worstCaseDM(work, box)
 		if dm != nil {
-			critical = appendIfNew(critical, dm)
+			var err error
+			critical, err = appendIfNew(critical, dm)
+			if err != nil {
+				return nil, err
+			}
 		}
 		res.WorstUtil = util
 		if cfg.TargetUtil > 0 && util <= cfg.TargetUtil {
@@ -120,7 +139,31 @@ func Optimize(g *graph.Graph, box *demand.Box, cfg Config) *Result {
 	res.CriticalDMs = critical
 	// Final utilization under the final weights.
 	_, res.WorstUtil = worstCaseDM(work, box)
-	return res
+	return res, nil
+}
+
+// validate rejects inputs the search cannot run on, wrapping
+// ErrInvalidInput with the specific violation.
+func validate(g *graph.Graph, box *demand.Box) error {
+	if g.NumNodes() < 2 {
+		return fmt.Errorf("%w: graph has %d node(s), need at least 2", ErrInvalidInput, g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		return fmt.Errorf("%w: graph has no edges", ErrInvalidInput)
+	}
+	for _, e := range g.Edges() {
+		if !(e.Capacity > 0) || math.IsInf(e.Capacity, 1) {
+			return fmt.Errorf("%w: edge %d (%d->%d) has capacity %v, need positive and finite",
+				ErrInvalidInput, e.ID, e.From, e.To, e.Capacity)
+		}
+	}
+	if box == nil {
+		return fmt.Errorf("%w: nil uncertainty box", ErrInvalidInput)
+	}
+	if n := g.NumNodes(); box.Min.N != n || box.Max.N != n {
+		return fmt.Errorf("%w: box is %dx%d over a %d-node graph", ErrInvalidInput, box.Min.N, box.Max.N, n)
+	}
+	return nil
 }
 
 // worstCaseDM finds the demand matrix in the box that maximizes ECMP's link
@@ -178,8 +221,16 @@ func evalWeights(g *graph.Graph, critical []*demand.Matrix) float64 {
 	return worst
 }
 
-func appendIfNew(set []*demand.Matrix, dm *demand.Matrix) []*demand.Matrix {
+// appendIfNew adds dm to the critical set unless an equal matrix (within
+// tolerance) is already present. A dimension mismatch between dm and an
+// accumulated matrix is an error: comparing prefixes would silently dedup
+// distinct matrices (or index out of range the other way around).
+func appendIfNew(set []*demand.Matrix, dm *demand.Matrix) ([]*demand.Matrix, error) {
 	for _, old := range set {
+		if len(old.D) != len(dm.D) {
+			return nil, fmt.Errorf("%w: critical-set matrix has %d entries, candidate has %d",
+				ErrInvalidInput, len(old.D), len(dm.D))
+		}
 		same := true
 		for i := range old.D {
 			if math.Abs(old.D[i]-dm.D[i]) > 1e-12 {
@@ -188,8 +239,8 @@ func appendIfNew(set []*demand.Matrix, dm *demand.Matrix) []*demand.Matrix {
 			}
 		}
 		if same {
-			return set
+			return set, nil
 		}
 	}
-	return append(set, dm)
+	return append(set, dm), nil
 }

@@ -1,6 +1,8 @@
 package localsearch
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"github.com/coyote-te/coyote/internal/demand"
@@ -33,7 +35,10 @@ func TestOptimizeImprovesOrMatchesInitial(t *testing.T) {
 	base.Set(a, d, 2)
 	box := demand.MarginBox(base, 2)
 
-	res := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 30, Seed: 1})
+	res, err := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
 	if len(res.Weights) != g.NumEdges() {
 		t.Fatalf("got %d weights, want %d", len(res.Weights), g.NumEdges())
 	}
@@ -62,7 +67,9 @@ func TestOptimizeDoesNotMutateInput(t *testing.T) {
 	a, _ := g.NodeByName("a")
 	d, _ := g.NodeByName("d")
 	base.Set(a, d, 1)
-	Optimize(g, demand.MarginBox(base, 2), Config{OuterIters: 2, InnerMoves: 10, Seed: 2})
+	if _, err := Optimize(g, demand.MarginBox(base, 2), Config{OuterIters: 2, InnerMoves: 10, Seed: 2}); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
 	after := g.Weights()
 	for i := range before {
 		if before[i] != after[i] {
@@ -78,13 +85,71 @@ func TestOptimizeOnCorpusTopology(t *testing.T) {
 	g := topo.MustLoad("NSF")
 	base := demand.Gravity(g, 1)
 	box := demand.MarginBox(base, 2)
-	res := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 25, Seed: 3})
+	res, err := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 25, Seed: 3})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
 	if res.WorstUtil <= 0 {
 		t.Fatalf("worst utilization %g should be positive", res.WorstUtil)
 	}
 	// Critical set accumulates at most one DM per round.
 	if len(res.CriticalDMs) > res.Rounds {
 		t.Fatalf("%d critical DMs exceed %d rounds", len(res.CriticalDMs), res.Rounds)
+	}
+}
+
+// TestOptimizeRejectsDegenerateInputs is the regression matrix for the
+// crash class fixed in PR 10: a single-node graph, an edgeless graph
+// (rng.Intn(0) panic in the move loop), a non-finite capacity (the
+// INVERSECAPACITY weight maxCap/c_e becomes NaN and poisons every SPF),
+// a nil box, and a box of the wrong dimension. graph.AddEdge forbids
+// zero and NaN capacities at construction time, so the capacity row uses
+// +Inf — the only non-finite value constructible through the public API,
+// and it hits the same maxCap/c_e division.
+func TestOptimizeRejectsDegenerateInputs(t *testing.T) {
+	box2 := func(n int) *demand.Box {
+		return demand.MarginBox(demand.NewMatrix(n), 2)
+	}
+
+	singleNode := graph.New()
+	singleNode.AddNode("only")
+
+	edgeless := graph.New()
+	edgeless.AddNode("a")
+	edgeless.AddNode("b")
+
+	infCap := graph.New()
+	ia := infCap.AddNode("a")
+	ib := infCap.AddNode("b")
+	infCap.AddLink(ia, ib, 1, 1)
+	infCap.AddEdge(ia, ib, math.Inf(1), 1)
+
+	ok := graph.New()
+	oa := ok.AddNode("a")
+	ob := ok.AddNode("b")
+	ok.AddLink(oa, ob, 1, 1)
+
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		box  *demand.Box
+	}{
+		{"single-node graph", singleNode, box2(1)},
+		{"edgeless graph", edgeless, box2(2)},
+		{"infinite capacity", infCap, box2(2)},
+		{"nil box", ok, nil},
+		{"mismatched box dimension", ok, box2(5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Optimize(tc.g, tc.box, Config{OuterIters: 2, InnerMoves: 5, Seed: 1})
+			if err == nil {
+				t.Fatalf("Optimize accepted degenerate input, got %+v", res)
+			}
+			if !errors.Is(err, ErrInvalidInput) {
+				t.Fatalf("error %v is not ErrInvalidInput", err)
+			}
+		})
 	}
 }
 
@@ -95,8 +160,11 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	d, _ := g.NodeByName("d")
 	base.Set(a, d, 2)
 	box := demand.MarginBox(base, 2)
-	r1 := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 20, Seed: 9})
-	r2 := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 20, Seed: 9})
+	r1, err1 := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 20, Seed: 9})
+	r2, err2 := Optimize(g, box, Config{OuterIters: 3, InnerMoves: 20, Seed: 9})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Optimize: %v / %v", err1, err2)
+	}
 	for i := range r1.Weights {
 		if r1.Weights[i] != r2.Weights[i] {
 			t.Fatal("same seed produced different weights")

@@ -42,10 +42,27 @@ func NewLSDB(g *graph.Graph) *LSDB {
 	return &LSDB{G: g, Fakes: make(map[graph.NodeID][]FakeNode)}
 }
 
-// Inject adds a fake node to the database.
+// Inject adds a fake node to the database. Both advertised costs must be
+// strictly positive (a zero CostDown would claim the fake node sits on the
+// destination), all three node IDs must exist in the topology (an
+// out-of-range Dest would otherwise only surface as an index panic deep
+// inside SPF), and the lie must not target its own attachment router.
 func (db *LSDB) Inject(f FakeNode) error {
-	if f.CostUp <= 0 || f.CostDown < 0 {
+	if f.CostUp <= 0 || f.CostDown <= 0 {
 		return fmt.Errorf("ospf: fake node %q has non-positive costs", f.Name)
+	}
+	n := graph.NodeID(db.G.NumNodes())
+	if f.Attached < 0 || f.Attached >= n {
+		return fmt.Errorf("ospf: fake node %q attached to out-of-range router %d (topology has %d nodes)", f.Name, f.Attached, n)
+	}
+	if f.Dest < 0 || f.Dest >= n {
+		return fmt.Errorf("ospf: fake node %q scoped to out-of-range destination %d (topology has %d nodes)", f.Name, f.Dest, n)
+	}
+	if f.MapsTo < 0 || f.MapsTo >= n {
+		return fmt.Errorf("ospf: fake node %q maps to out-of-range router %d (topology has %d nodes)", f.Name, f.MapsTo, n)
+	}
+	if f.Dest == f.Attached {
+		return fmt.Errorf("ospf: fake node %q lies to destination %d about itself", f.Name, f.Dest)
 	}
 	if f.MapsTo == f.Attached {
 		return fmt.Errorf("ospf: fake node %q maps to its own router", f.Name)

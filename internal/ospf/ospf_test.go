@@ -115,6 +115,28 @@ func TestInjectValidation(t *testing.T) {
 	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: b, CostUp: 0, CostDown: 1}); err == nil {
 		t.Fatal("zero CostUp should fail")
 	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: b, CostUp: 1, CostDown: 0}); err == nil {
+		t.Fatal("zero CostDown should fail (error message promises non-positive costs are rejected)")
+	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: b, CostUp: 1, CostDown: -1}); err == nil {
+		t.Fatal("negative CostDown should fail")
+	}
+	n := graph.NodeID(g.NumNodes())
+	if err := db.Inject(FakeNode{Attached: n, MapsTo: b, Dest: b, CostUp: 1, CostDown: 1}); err == nil {
+		t.Fatal("out-of-range Attached should fail at injection, not panic in SPF")
+	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: n, CostUp: 1, CostDown: 1}); err == nil {
+		t.Fatal("out-of-range Dest should fail at injection, not panic in SPF")
+	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: n, Dest: b, CostUp: 1, CostDown: 1}); err == nil {
+		t.Fatal("out-of-range MapsTo should fail")
+	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: -1, CostUp: 1, CostDown: 1}); err == nil {
+		t.Fatal("negative Dest should fail")
+	}
+	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: a, CostUp: 1, CostDown: 1}); err == nil {
+		t.Fatal("Dest == Attached lie should fail: a router cannot be lied to about itself")
+	}
 	if err := db.Inject(FakeNode{Attached: a, MapsTo: b, Dest: b, CostUp: 1, CostDown: 0.5}); err != nil {
 		t.Fatalf("valid fake rejected: %v", err)
 	}

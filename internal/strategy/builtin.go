@@ -1,0 +1,160 @@
+package strategy
+
+import (
+	"math"
+
+	"github.com/coyote-te/coyote/internal/dagx"
+	"github.com/coyote-te/coyote/internal/demand"
+	"github.com/coyote-te/coyote/internal/gpopt"
+	"github.com/coyote-te/coyote/internal/graph"
+	"github.com/coyote-te/coyote/internal/localsearch"
+	"github.com/coyote-te/coyote/internal/oblivious"
+	"github.com/coyote-te/coyote/internal/pdrouting"
+)
+
+// inverseCapacityWeights returns the Cisco-recommended INVERSECAPACITY
+// weight assignment the paper cites [16]: w_e = max(1, round(maxCap/c_e)).
+func inverseCapacityWeights(g *graph.Graph) []float64 {
+	maxCap := 0.0
+	for _, e := range g.Edges() {
+		if e.Capacity > maxCap {
+			maxCap = e.Capacity
+		}
+	}
+	w := make([]float64, g.NumEdges())
+	for _, e := range g.Edges() {
+		w[e.ID] = math.Max(1, math.Round(maxCap/e.Capacity))
+	}
+	return w
+}
+
+// ecmpStrategy is traditional OSPF/ECMP under INVERSECAPACITY weights:
+// equal splitting over shortest-path DAGs, oblivious to the box.
+type ecmpStrategy struct{ cfg Config }
+
+func (s *ecmpStrategy) Name() string { return "ecmp" }
+
+func (s *ecmpStrategy) Build(g *graph.Graph, box *demand.Box) (Plan, error) {
+	work := g.Clone()
+	work.SetWeights(inverseCapacityWeights(g))
+	dags := dagx.BuildAll(work, dagx.ShortestPath)
+	r := pdrouting.Uniform(work, dags)
+	return &staticPlan{r: r, cost: Cost{DAGEdges: dagEdges(r)}}, nil
+}
+
+// localsearchStrategy runs the §V-B/Appendix A weight search against the
+// box and deploys plain ECMP on the tuned weights — the strongest routing
+// reachable without any lies.
+type localsearchStrategy struct{ cfg Config }
+
+func (s *localsearchStrategy) Name() string { return "localsearch" }
+
+func (s *localsearchStrategy) Build(g *graph.Graph, box *demand.Box) (Plan, error) {
+	ls, err := localsearch.Optimize(g, box, localsearch.Config{
+		OuterIters: s.cfg.AdvIters,
+		InnerMoves: 10 * g.NumEdges(),
+		Seed:       s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	work.SetWeights(ls.Weights)
+	dags := dagx.BuildAll(work, dagx.ShortestPath)
+	r := pdrouting.Uniform(work, dags)
+	return &staticPlan{r: r, cost: Cost{DAGEdges: dagEdges(r), Scenarios: len(ls.CriticalDMs)}}, nil
+}
+
+// gpoptStrategy runs the GP-style splitting optimizer alone — no
+// adversarial loop — against the two seed scenarios every COYOTE run starts
+// from (the box maximum and its geometric midpoint). It isolates how much
+// of COYOTE's win comes from the optimizer versus the adversary.
+type gpoptStrategy struct{ cfg Config }
+
+func (s *gpoptStrategy) Name() string { return "gpopt" }
+
+func (s *gpoptStrategy) Build(g *graph.Graph, box *demand.Box) (Plan, error) {
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	ev := oblivious.NewEvaluator(g, dags, box, s.cfg.evalConfig())
+	var scenarios []gpopt.Scenario
+	add := func(D *demand.Matrix) {
+		if D.Total() <= 0 {
+			return
+		}
+		if norm := ev.OptDAG(D); norm > 0 && !math.IsInf(norm, 1) {
+			scenarios = append(scenarios, gpopt.NewScenario(g, D, norm))
+		}
+	}
+	add(box.Max.Clone())
+	mid := demand.NewMatrix(g.NumNodes())
+	for i := range mid.D {
+		mid.D[i] = math.Sqrt(box.Min.D[i] * box.Max.D[i])
+	}
+	add(mid)
+	opt := gpopt.New(g, dags, gpopt.Config{Iters: s.cfg.OptIters, Workers: s.cfg.Workers})
+	opt.Run(scenarios)
+	r := opt.Routing()
+	return &staticPlan{r: r, cost: Cost{DAGEdges: dagEdges(r), Scenarios: len(scenarios)}}, nil
+}
+
+// coyoteStrategy is the full COYOTE pipeline: augmented DAGs plus the
+// adversarial splitting optimization of §V-C. forceFPTAS pins the OPTDAG
+// normalizer to the Garg–Könemann FPTAS regardless of instance size (the
+// "coyote-fptas" registry entry), exercising the approximation path the
+// paper relies on beyond the exact-LP crossover.
+type coyoteStrategy struct {
+	cfg        Config
+	forceFPTAS bool
+}
+
+func (s *coyoteStrategy) Name() string {
+	if s.forceFPTAS {
+		return "coyote-fptas"
+	}
+	return "coyote"
+}
+
+func (s *coyoteStrategy) Build(g *graph.Graph, box *demand.Box) (Plan, error) {
+	opts := s.cfg.options()
+	if s.forceFPTAS {
+		opts.Eval.ExactNodeLimit = 1
+	}
+	dags := dagx.BuildAll(g, dagx.Augmented)
+	r, rep := oblivious.OptimizeSplitting(g, dags, box, opts)
+	return &staticPlan{r: r, cost: Cost{DAGEdges: dagEdges(r), Scenarios: rep.ScenarioCount}}, nil
+}
+
+// optStrategy is the OPT oracle: per-matrix exact min-MLU multicommodity
+// flow within the augmented DAGs — the demands-aware optimum OPTDAG that
+// normalizes every figure in the paper (§VI). It is the denominator of the
+// portfolio table, and by construction the best any DAG-respecting
+// strategy can do on each individual matrix.
+type optStrategy struct{ cfg Config }
+
+func (s *optStrategy) Name() string { return "opt" }
+
+func (s *optStrategy) Build(g *graph.Graph, box *demand.Box) (Plan, error) {
+	return &optPlan{
+		g:    g,
+		dags: dagx.BuildAll(g, dagx.Augmented),
+		cfg:  s.cfg,
+	}, nil
+}
+
+type optPlan struct {
+	g    *graph.Graph
+	dags []*dagx.DAG
+	cfg  Config
+}
+
+func (p *optPlan) Route(dm *demand.Matrix) (*pdrouting.Routing, error) {
+	return oblivious.BaseRouting(p.g, p.dags, dm, p.cfg.ExactNodeLimit, p.cfg.Eps)
+}
+
+func (p *optPlan) Cost() Cost {
+	n := 0
+	for _, d := range p.dags {
+		n += d.NumEdges()
+	}
+	return Cost{DAGEdges: n, Adaptive: true}
+}

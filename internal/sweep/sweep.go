@@ -214,8 +214,8 @@ func canonical(g *graph.Graph) ([]byte, error) {
 // campaign (sub-second each under Quick); the corpus subset below sticks
 // to the small backbones for the same reason.
 var goldenExperiments = []string{
-	"negative-np", "negative-path", "running",
-	"scen-grid-day", "scen-srlg", "scen-waxman",
+	"negative-np", "negative-path", "portfolio", "portfolio-failures",
+	"running", "scen-grid-day", "scen-srlg", "scen-waxman",
 }
 
 var goldenCorpusTopos = []string{"Abilene", "Gambia", "NSF"}
@@ -288,8 +288,15 @@ func Full(topoDir string) (Campaign, error) {
 	return finalize("full", cfg, units)
 }
 
-// Named resolves a campaign by name ("golden", "quick", "full"); topoDir
-// feeds the full campaign's file units.
+// Portfolio is the TE-strategy head-to-head campaign: the portfolio
+// experiments (strategy × topology × demand regime × failure suite, every
+// cell normalized by the OPT oracle) under the Quick configuration.
+func Portfolio() (Campaign, error) {
+	return finalize("portfolio", exp.Quick(), Experiments("portfolio", "portfolio-failures"))
+}
+
+// Named resolves a campaign by name ("golden", "quick", "full",
+// "portfolio"); topoDir feeds the full campaign's file units.
 func Named(name, topoDir string) (Campaign, error) {
 	switch name {
 	case "golden":
@@ -298,7 +305,9 @@ func Named(name, topoDir string) (Campaign, error) {
 		return Quick()
 	case "full":
 		return Full(topoDir)
+	case "portfolio":
+		return Portfolio()
 	default:
-		return Campaign{}, fmt.Errorf("sweep: unknown campaign %q (golden, quick, full)", name)
+		return Campaign{}, fmt.Errorf("sweep: unknown campaign %q (golden, quick, full, portfolio)", name)
 	}
 }
